@@ -1,0 +1,78 @@
+// Ablation: the dead-band parameter alpha.
+//
+// The paper: "During our experiments we found 0.2 to be a reasonable value
+// for alpha. Small values ... detect the best compression level even if
+// the performance gains ... are rather small [but] make the decision
+// algorithm more prone to incorrect decisions" under throughput
+// fluctuations. This bench sweeps alpha and reports completion time plus
+// probe/revert counts on the HIGH (clear winner exists) and LOW (levels
+// nearly tie, fluctuating link) workloads.
+#include <cstdio>
+
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+#include "vsim/transfer.h"
+
+using namespace strato;
+
+namespace {
+
+struct Outcome {
+  double completion_s = 0.0;
+  int probes = 0;
+  int reverts = 0;
+};
+
+Outcome run(vsim::VirtTech tech, corpus::Compressibility data, int bg,
+            double alpha) {
+  vsim::TransferConfig cfg;
+  cfg.tech = tech;
+  cfg.data = data;
+  cfg.bg_flows = bg;
+  cfg.total_bytes = 20'000'000'000ULL;
+  cfg.seed = 77;
+  vsim::TransferExperiment exp(cfg);
+  auto policy = expkit::make_policy("DYNAMIC", exp, alpha);
+  auto* adaptive = dynamic_cast<core::AdaptivePolicy*>(policy.get());
+  Outcome out;
+  adaptive->set_trace([&](common::SimTime, double, const core::Decision& d) {
+    if (d.probed) ++out.probes;
+    if (d.reverted) ++out.reverts;
+  });
+  out.completion_s = exp.run(*policy).completion_s;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: alpha sweep (20 GB per cell, t = 2 s).\n"
+      "Probes = optimistic level switches; reverts = undone decisions.\n\n");
+  const double alphas[] = {0.05, 0.1, 0.2, 0.3, 0.4};
+
+  for (const auto& [tech, data, bg] :
+       {std::tuple{vsim::VirtTech::kKvmPara, corpus::Compressibility::kHigh,
+                   0},
+        std::tuple{vsim::VirtTech::kKvmPara, corpus::Compressibility::kLow,
+                   2},
+        std::tuple{vsim::VirtTech::kEc2, corpus::Compressibility::kLow, 0}}) {
+    std::printf("--- %s, %s data, %d background flows ---\n",
+                vsim::to_string(tech), corpus::to_string(data), bg);
+    expkit::TablePrinter table;
+    table.header({"alpha", "completion [s]", "probes", "reverts"});
+    for (const double a : alphas) {
+      const auto o = run(tech, data, bg, a);
+      table.row({expkit::fmt(a, 2), expkit::fmt_seconds(o.completion_s),
+                 std::to_string(o.probes), std::to_string(o.reverts)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "Shape (paper Section III/IV): on a calm local cloud a small alpha\n"
+      "discriminates even the near-tied levels of the LOW case and locks\n"
+      "in; on the heavily fluctuating EC2 link a small alpha misreads\n"
+      "noise as change (reverts/probes rise and completion suffers).\n"
+      "alpha = 0.2 is the paper's compromise across both regimes.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: the exponential backoff and the decision interval t.
+//
+// Two design choices of Section III get isolated here:
+//  * the per-level exponential backoff (vs probing every window);
+//  * the MB-granularity decision interval t (the paper uses 2 s and argues
+//    for coarse windows to ride out virtualized-I/O fluctuations).
+#include <cstdio>
+
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+#include "vsim/transfer.h"
+
+using namespace strato;
+
+namespace {
+
+struct Outcome {
+  double completion_s = 0.0;
+  int probes = 0;
+};
+
+Outcome run(corpus::Compressibility data, double t_seconds, bool backoff) {
+  vsim::TransferConfig cfg;
+  cfg.data = data;
+  cfg.bg_flows = 1;
+  cfg.total_bytes = 20'000'000'000ULL;
+  cfg.seed = 99;
+  vsim::TransferExperiment exp(cfg);
+  core::AdaptiveConfig acfg;
+  acfg.alpha = 0.2;
+  acfg.num_levels = vsim::CodecModel::kNumLevels;
+  acfg.backoff_enabled = backoff;
+  auto policy = std::make_unique<core::AdaptivePolicy>(
+      acfg, common::SimTime::seconds(t_seconds));
+  Outcome out;
+  policy->set_trace([&](common::SimTime, double, const core::Decision& d) {
+    if (d.probed) ++out.probes;
+  });
+  out.completion_s = exp.run(*policy).completion_s;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: decision interval t x exponential backoff\n"
+      "(20 GB per cell, 1 background flow, alpha = 0.2).\n\n");
+  for (const auto data :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kLow}) {
+    std::printf("--- %s data ---\n", corpus::to_string(data));
+    expkit::TablePrinter table;
+    table.header({"t [s]", "backoff ON [s]", "probes", "backoff OFF [s]",
+                  "probes "});
+    for (const double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const auto on = run(data, t, true);
+      const auto off = run(data, t, false);
+      table.row({expkit::fmt(t, 1), expkit::fmt_seconds(on.completion_s),
+                 std::to_string(on.probes),
+                 expkit::fmt_seconds(off.completion_s),
+                 std::to_string(off.probes)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "Expected shape: without backoff the scheme probes every stable\n"
+      "window and pays for the constant excursions to worse levels; the\n"
+      "backoff cuts probe counts by orders of magnitude at equal or better\n"
+      "completion times. Very small t reacts faster but probes more.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: ladder generality — Algorithm 1 with four vs five levels.
+//
+// The paper assumes "a fixed set of n compression levels ... ordered by
+// their respective time/compression ratio" and notes the same algorithm
+// works for any n. This bench runs the real codecs over the real
+// throttled transport (no simulator) with the standard 4-rung ladder and
+// the extended 5-rung ladder (DEFLATE between MEDIUM and HEAVY), at
+// several link speeds. A finer ladder lets DYNAMIC land closer to the
+// true optimum when the optimum falls between the coarse rungs.
+#include <cstdio>
+#include <thread>
+
+#include "core/policy.h"
+#include "core/stream.h"
+#include "core/throttled_pipe.h"
+#include "corpus/generator.h"
+#include "expkit/tables.h"
+
+using namespace strato;
+
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  double wire_mb = 0.0;
+  int final_level = 0;
+};
+
+Outcome run(const compress::CodecRegistry& registry, double link_bytes_s,
+            std::size_t total) {
+  auto link = std::make_shared<core::LinkShare>(link_bytes_s);
+  core::ThrottledPipe pipe(link);
+  std::thread drainer([&] {
+    while (!pipe.read(256 * 1024).empty()) {
+    }
+  });
+
+  core::AdaptiveConfig cfg;
+  cfg.num_levels = static_cast<int>(registry.level_count());
+  core::AdaptivePolicy policy(cfg, common::SimTime::ms(250));
+  common::SteadyClock clock;
+  core::CompressingWriter writer(pipe, registry, policy, clock);
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 13);
+
+  common::Bytes chunk(128 * 1024);
+  const auto t0 = clock.now();
+  for (std::size_t sent = 0; sent < total; sent += chunk.size()) {
+    gen->generate(chunk);
+    writer.write(chunk);
+  }
+  writer.flush();
+  pipe.close();
+  drainer.join();
+  return {(clock.now() - t0).to_seconds(),
+          static_cast<double>(writer.framed_bytes()) / 1e6, policy.level()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTotal = 48 << 20;  // real codecs: keep it laptop-sized
+  std::printf(
+      "Ablation: 4-rung vs 5-rung ladder, real codecs over a real throttled "
+      "pipe\n(%zu MB of MODERATE data per cell, t = 250 ms).\n\n",
+      kTotal >> 20);
+  expkit::TablePrinter table;
+  table.header({"link [MB/s]", "4 rungs [s]", "wire [MB]", "5 rungs [s]",
+                "wire [MB] "});
+  for (const double link : {4e6, 10e6, 30e6, 80e6}) {
+    const Outcome std4 =
+        run(compress::CodecRegistry::standard(), link, kTotal);
+    const Outcome ext5 =
+        run(compress::CodecRegistry::extended(), link, kTotal);
+    table.row({expkit::fmt(link / 1e6, 0), expkit::fmt(std4.seconds, 1),
+               expkit::fmt(std4.wire_mb, 1), expkit::fmt(ext5.seconds, 1),
+               expkit::fmt(ext5.wire_mb, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape: at high link speeds both ladders behave alike (the\n"
+      "optimum is a cheap rung both have). On starved links the 5-rung\n"
+      "ladder's DEFLATE rung ships fewer wire bytes than MEDIUM at\n"
+      "affordable CPU, so the finer ladder is at least as fast — the\n"
+      "algorithm generalises over n unchanged, as the paper claims.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: decision-model shootout — the paper's rate-based DYNAMIC
+// scheme against the related-work baselines of Section V:
+//
+//  * METRIC (Krintz/Sucu-style): offline-trained codec table + displayed
+//    CPU idle + displayed bandwidth. Inside a VM it believes the skewed
+//    metrics of Section II.
+//  * QUEUE (Jeannot-style): FIFO-occupancy signal.
+//
+// Run across virtualization profiles; the native profile displays honest
+// metrics (METRIC does fine), the KVM-paravirt profile hides ~93 % of the
+// I/O CPU cost (METRIC overcompresses), which is exactly the paper's
+// argument for a metrics-free decision model.
+#include <cstdio>
+
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+#include "vsim/transfer.h"
+
+using namespace strato;
+
+namespace {
+
+double run(vsim::VirtTech tech, corpus::Compressibility data,
+           const std::string& policy_name) {
+  vsim::TransferConfig cfg;
+  cfg.tech = tech;
+  cfg.data = data;
+  cfg.bg_flows = 1;
+  cfg.total_bytes = 20'000'000'000ULL;
+  cfg.seed = 55;
+  // Make CPU genuinely scarce (the regime the paper's testbed was in):
+  // codecs run at ~0.4x, so believing "the CPU is idle" hurts.
+  cfg.codec_speed_factor = 0.4;
+  vsim::TransferExperiment exp(cfg);
+  const auto policy = expkit::make_policy(policy_name, exp);
+  return exp.run(*policy).completion_s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: decision models across virtualization techniques\n"
+      "(20 GB, 1 background flow, codecs at 0.4x speed; seconds).\n\n");
+  for (const auto data :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    std::printf("--- %s data ---\n", corpus::to_string(data));
+    expkit::TablePrinter table;
+    table.header({"technique", "best static", "DYNAMIC", "METRIC", "QUEUE"});
+    for (const auto tech :
+         {vsim::VirtTech::kNative, vsim::VirtTech::kKvmPara,
+          vsim::VirtTech::kEc2}) {
+      double best_static = 1e18;
+      for (const char* p : {"NO", "LIGHT", "MEDIUM", "HEAVY"}) {
+        best_static = std::min(best_static, run(tech, data, p));
+      }
+      table.row({vsim::to_string(tech), expkit::fmt_seconds(best_static),
+                 expkit::fmt_seconds(run(tech, data, "DYNAMIC")),
+                 expkit::fmt_seconds(run(tech, data, "METRIC")),
+                 expkit::fmt_seconds(run(tech, data, "QUEUE"))});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "Shape: DYNAMIC tracks the best static level on every technique\n"
+      "(within ~10%%) without metrics or training. METRIC's choice is\n"
+      "dictated by whatever CPU-idle figure the environment displays, so\n"
+      "it swings between matching the best level and being ~3x off — and\n"
+      "which environment is which cannot be known a priori, exactly the\n"
+      "paper's argument against metric-driven models in clouds. QUEUE is\n"
+      "erratic for the analogous reason (the occupancy signal conflates\n"
+      "the two possible bottlenecks).\n");
+  return 0;
+}

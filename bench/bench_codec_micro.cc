@@ -1,0 +1,83 @@
+// Codec micro-benchmarks (google-benchmark): compression/decompression
+// throughput and ratio of every level on every corpus class — the numbers
+// behind CodecModel::defaults() and the speed/ratio ladder the adaptive
+// scheme assumes (Section III: levels "ordered by their respective
+// time/compression ratio").
+#include <benchmark/benchmark.h>
+
+#include "common/checksum.h"
+#include "compress/registry.h"
+#include "corpus/generator.h"
+
+using namespace strato;
+
+namespace {
+
+constexpr std::size_t kBlock = 128 * 1024;  // the channel block size
+
+corpus::Compressibility cls(int idx) {
+  switch (idx) {
+    case 0:
+      return corpus::Compressibility::kHigh;
+    case 1:
+      return corpus::Compressibility::kModerate;
+    default:
+      return corpus::Compressibility::kLow;
+  }
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto& reg = compress::CodecRegistry::standard();
+  const auto& codec = *reg.level(static_cast<std::size_t>(state.range(0))).codec;
+  auto gen = corpus::make_generator(cls(static_cast<int>(state.range(1))), 3);
+  const auto data = corpus::take(*gen, kBlock);
+  common::Bytes out(codec.max_compressed_size(data.size()));
+  std::size_t comp_size = 0;
+  for (auto _ : state) {
+    comp_size = codec.compress(data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(comp_size) / static_cast<double>(data.size());
+}
+
+void BM_Decompress(benchmark::State& state) {
+  const auto& reg = compress::CodecRegistry::standard();
+  const auto& codec = *reg.level(static_cast<std::size_t>(state.range(0))).codec;
+  auto gen = corpus::make_generator(cls(static_cast<int>(state.range(1))), 3);
+  const auto data = corpus::take(*gen, kBlock);
+  const auto comp = codec.compress(data);
+  common::Bytes back(data.size());
+  for (auto _ : state) {
+    codec.decompress(comp, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void LevelsByCorpus(benchmark::internal::Benchmark* b) {
+  for (int level = 0; level < 4; ++level) {
+    for (int c = 0; c < 3; ++c) b->Args({level, c});
+  }
+}
+
+BENCHMARK(BM_Compress)->Apply(LevelsByCorpus)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Decompress)->Apply(LevelsByCorpus)->Unit(benchmark::kMicrosecond);
+
+void BM_Xxh64(benchmark::State& state) {
+  auto gen = corpus::make_generator(corpus::Compressibility::kLow, 1);
+  const auto data = corpus::take(*gen, kBlock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::xxh64(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Xxh64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

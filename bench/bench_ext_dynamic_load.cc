@@ -1,0 +1,75 @@
+// Extension experiment: time-varying co-located load.
+//
+// Table II fixes the number of background connections per run; real cloud
+// neighbours churn. Here background flows follow (a) a step schedule and
+// (b) a Poisson/exponential birth-death process, and we compare the
+// static levels against DYNAMIC. The adaptive scheme re-decides every
+// t = 2 s, so it keeps tracking whichever level the current contention
+// favours — the capability a statically chosen level cannot have.
+#include <cstdio>
+
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+#include "vsim/transfer.h"
+
+using namespace strato;
+
+namespace {
+
+double run(const vsim::TransferConfig& cfg, const std::string& name) {
+  vsim::TransferConfig c = cfg;
+  vsim::TransferExperiment exp(c);
+  const auto policy = expkit::make_policy(name, exp);
+  return exp.run(*policy).completion_s;
+}
+
+void table_for(const char* title, const vsim::TransferConfig& cfg) {
+  std::printf("--- %s ---\n", title);
+  expkit::TablePrinter table;
+  table.header({"policy", "HIGH [s]", "MODERATE [s]", "LOW [s]"});
+  const corpus::Compressibility classes[] = {
+      corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+      corpus::Compressibility::kLow};
+  for (const char* name : {"NO", "LIGHT", "MEDIUM", "HEAVY", "DYNAMIC"}) {
+    std::vector<std::string> row{name};
+    for (const auto cls : classes) {
+      auto c = cfg;
+      c.data = cls;
+      row.push_back(expkit::fmt_seconds(run(c, name)));
+    }
+    table.row(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Extension: adaptive compression under time-varying co-located "
+      "load\n(20 GB per cell, t = 2 s, alpha = 0.2).\n\n");
+
+  {
+    vsim::TransferConfig cfg;
+    cfg.total_bytes = 20'000'000'000ULL;
+    cfg.seed = 21;
+    cfg.bg_traffic.steps = {{0.0, 0}, {60.0, 3}, {150.0, 1}, {240.0, 4}};
+    table_for("step schedule: 0 -> 3 -> 1 -> 4 background flows", cfg);
+  }
+  {
+    vsim::TransferConfig cfg;
+    cfg.total_bytes = 20'000'000'000ULL;
+    cfg.seed = 22;
+    cfg.bg_traffic.arrival_per_s = 0.02;   // a neighbour every ~50 s
+    cfg.bg_traffic.mean_holding_s = 120.0; // staying ~2 min
+    cfg.bg_traffic.max_flows = 5;
+    table_for("birth-death neighbours (lambda=0.02/s, hold=120 s)", cfg);
+  }
+
+  std::printf(
+      "Expected shape: no single static level is right for the whole run;\n"
+      "DYNAMIC tracks the per-phase winner and lands at or near the best\n"
+      "column entry in every scenario, extending the paper's fixed-k\n"
+      "result to churning neighbours.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension experiment: adaptive compression on the file-I/O path — the
+// paper's stated future work (Section VI).
+//
+// The sender pipeline writes framed blocks to the virtual disk instead of
+// the network. Two settings:
+//  * KVM (paravirt.): honest disk, no cache games — compression behaves
+//    like the network case (disk bandwidth is the shared resource).
+//  * XEN (paravirt.): the host write-back cache absorbs writes at memory
+//    speed and stalls during flushes; the application data rate the
+//    controller sees is the *cache* rate, so the benefit estimate is
+//    systematically distorted — the obstacle the paper names.
+#include <cstdio>
+
+#include "expkit/tables.h"
+#include "vsim/file_transfer.h"
+
+using namespace strato;
+
+namespace {
+
+struct Row {
+  double completion = 0.0;
+  double drained = 0.0;
+  double dirty_gb = 0.0;
+};
+
+Row run(vsim::VirtTech tech, corpus::Compressibility data, int level) {
+  vsim::FileTransferConfig cfg;
+  cfg.tech = tech;
+  cfg.data = data;
+  cfg.total_bytes = 20'000'000'000ULL;
+  cfg.seed = 31;
+  std::unique_ptr<core::CompressionPolicy> policy;
+  if (level >= 0) {
+    policy = std::make_unique<core::StaticPolicy>(level, "S");
+  } else {
+    core::AdaptiveConfig acfg;
+    acfg.num_levels = vsim::CodecModel::kNumLevels;
+    policy = std::make_unique<core::AdaptivePolicy>(
+        acfg, common::SimTime::seconds(2));
+  }
+  const auto res = vsim::run_file_transfer(cfg, *policy);
+  return {res.completion_s, res.drained_s, res.final_dirty_bytes / 1e9};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Extension: adaptive compression for file writes (20 GB per cell).\n"
+      "'accepted' = writer done; 'durable' = host cache drained too.\n\n");
+  for (const auto tech :
+       {vsim::VirtTech::kKvmPara, vsim::VirtTech::kXenPara}) {
+    std::printf("--- %s ---\n", vsim::to_string(tech));
+    expkit::TablePrinter table;
+    table.header({"policy", "HIGH acc/dur [s]", "MODERATE acc/dur [s]",
+                  "LOW acc/dur [s]"});
+    const corpus::Compressibility classes[] = {
+        corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow};
+    const char* names[] = {"NO", "LIGHT", "MEDIUM", "HEAVY", "DYNAMIC"};
+    for (int p = 0; p < 5; ++p) {
+      std::vector<std::string> row{names[p]};
+      for (const auto cls : classes) {
+        const Row r = run(tech, cls, p == 4 ? -1 : p);
+        row.push_back(expkit::fmt_seconds(r.completion) + "/" +
+                      expkit::fmt_seconds(r.drained));
+      }
+      table.row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "Shape: on the honest KVM disk DYNAMIC tracks the best level as in\n"
+      "Table II. On XEN the cache distorts the application data rate the\n"
+      "controller feeds on (absorb-speed windows interleaved with flush\n"
+      "stalls), and DYNAMIC's decisions visibly degrade — this *is* the\n"
+      "obstacle the paper names when deferring file I/O to future work,\n"
+      "now quantified. Static compression still shortens the durable time\n"
+      "by shrinking what must reach the platter.\n");
+  return 0;
+}

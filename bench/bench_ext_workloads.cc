@@ -1,0 +1,97 @@
+// Extension experiment: realistic workloads over the real transport.
+//
+// The paper evaluates three Canterbury-style compressibility classes; real
+// cloud applications ship other shapes. This bench runs the *actual*
+// codecs and the *actual* adaptive pipeline (no simulator) over service
+// logs and columnar shuffle data at several link budgets, comparing the
+// static levels with DYNAMIC — the end-to-end behaviour a downstream user
+// of this library would see.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "core/policy.h"
+#include "core/stream.h"
+#include "core/throttled_pipe.h"
+#include "corpus/generator.h"
+#include "expkit/tables.h"
+
+using namespace strato;
+
+namespace {
+
+std::unique_ptr<corpus::Generator> make_workload(const std::string& name) {
+  if (name == "logs") return std::make_unique<corpus::LogGenerator>(7);
+  if (name == "columnar") {
+    return std::make_unique<corpus::ColumnarGenerator>(7);
+  }
+  return corpus::make_generator(corpus::Compressibility::kModerate, 7);
+}
+
+double ship(const std::string& workload, double link_bytes_s,
+            const std::string& policy_name, std::size_t total) {
+  const auto& registry = compress::CodecRegistry::standard();
+  auto link = std::make_shared<core::LinkShare>(link_bytes_s);
+  core::ThrottledPipe pipe(link);
+  std::thread drainer([&] {
+    while (!pipe.read(256 * 1024).empty()) {
+    }
+  });
+
+  std::unique_ptr<core::CompressionPolicy> policy;
+  if (policy_name == "DYNAMIC") {
+    core::AdaptiveConfig cfg;
+    cfg.num_levels = static_cast<int>(registry.level_count());
+    policy =
+        std::make_unique<core::AdaptivePolicy>(cfg, common::SimTime::ms(250));
+  } else {
+    for (std::size_t l = 0; l < registry.level_count(); ++l) {
+      if (registry.level(l).label == policy_name) {
+        policy = std::make_unique<core::StaticPolicy>(static_cast<int>(l),
+                                                      policy_name);
+      }
+    }
+  }
+
+  common::SteadyClock clock;
+  core::CompressingWriter writer(pipe, registry, *policy, clock);
+  auto gen = make_workload(workload);
+  common::Bytes chunk(128 * 1024);
+  const auto t0 = clock.now();
+  for (std::size_t sent = 0; sent < total; sent += chunk.size()) {
+    gen->generate(chunk);
+    writer.write(chunk);
+  }
+  writer.flush();
+  pipe.close();
+  drainer.join();
+  return (clock.now() - t0).to_seconds();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTotal = 24 << 20;  // real codecs, real time
+  std::printf(
+      "Extension: realistic workloads over the real adaptive pipeline\n"
+      "(%zu MB per cell, wall-clock seconds; lower is better).\n\n",
+      kTotal >> 20);
+  for (const char* workload : {"logs", "columnar"}) {
+    std::printf("--- %s ---\n", workload);
+    expkit::TablePrinter table;
+    table.header({"link [MB/s]", "NO", "LIGHT", "HEAVY", "DYNAMIC"});
+    for (const double link : {5e6, 20e6, 60e6}) {
+      std::vector<std::string> row{expkit::fmt(link / 1e6, 0)};
+      for (const char* p : {"NO", "LIGHT", "HEAVY", "DYNAMIC"}) {
+        row.push_back(expkit::fmt(ship(workload, link, p, kTotal), 1));
+      }
+      table.row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "Expected shape: logs compress ~3-5x, so compression wins at every\n"
+      "starved link; columnar data rewards the entropy-coding levels.\n"
+      "DYNAMIC lands near the per-cell winner without configuration.\n");
+  return 0;
+}

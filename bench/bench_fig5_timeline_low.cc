@@ -1,0 +1,38 @@
+// Fig. 5 reproduction: behaviour of the adaptive compression scheme with
+// hardly compressible data (LOW) and two concurrent TCP connections.
+//
+// Because the performance difference between the levels is small on
+// incompressible data, the scheme keeps (mis)reading fluctuations as
+// changes and continues probing — the paper's discussion of alpha.
+#include <cstdio>
+
+#include "timeline_common.h"
+
+using namespace strato;
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Fig. 5: adaptive compression, LOW compressibility, two concurrent "
+      "TCP connections\n(50 GB, t = 2 s, alpha = 0.2).\n\n");
+  vsim::TransferConfig cfg;
+  cfg.data = corpus::Compressibility::kLow;
+  cfg.bg_flows = 2;
+  cfg.total_bytes = 50'000'000'000ULL;
+  cfg.seed = 5;
+  const auto res = benchutil::run_and_render(
+      cfg, 0.2, benchutil::csv_path_from_args(argc, argv));
+
+  std::uint64_t total = 0, heavy = 0;
+  for (std::size_t l = 0; l < res.blocks_per_level.size(); ++l) {
+    total += res.blocks_per_level[l];
+    if (l == 3) heavy = res.blocks_per_level[l];
+  }
+  std::printf(
+      "\nOn incompressible data under contention the cheap levels are\n"
+      "nearly tied (a few %% apart), so the prober keeps visiting them —\n"
+      "the behaviour Fig. 5 shows. Only HEAVY is decisively wrong and gets\n"
+      "%.1f%% of blocks. Paper: lowering alpha would sharpen the choice at\n"
+      "the cost of more wrong decisions under TCP fluctuations.\n",
+      100.0 * static_cast<double>(heavy) / static_cast<double>(total));
+  return 0;
+}

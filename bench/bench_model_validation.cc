@@ -1,0 +1,64 @@
+// Model cross-validation: fluid pipeline vs packet-level DES.
+//
+// All paper-scale benches run on the fluid three-stage recurrence
+// (vsim/transfer.h). This bench checks that abstraction against an
+// independently implemented packet-granularity simulation (MTU packets,
+// weighted deficit round-robin at the NIC, explicit background flows,
+// event queue) across the Table II grid, reporting the deviation of every
+// cell. Small deviations mean the fluid numbers elsewhere in
+// EXPERIMENTS.md are not artifacts of the fluid abstraction.
+#include <cstdio>
+
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+#include "vsim/packet_sim.h"
+#include "vsim/transfer.h"
+
+using namespace strato;
+
+int main() {
+  constexpr std::uint64_t kBytes = 2'000'000'000ULL;  // per cell
+  std::printf(
+      "Model validation: fluid pipeline vs packet-level DES (2 GB per "
+      "cell).\n\n");
+  expkit::TablePrinter table;
+  table.header({"data", "bg", "policy", "fluid [s]", "packet [s]",
+                "deviation", "packets"});
+  double worst = 0.0;
+  for (const auto data :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    for (const int bg : {0, 2}) {
+      for (const char* policy_name : {"NO", "LIGHT", "DYNAMIC"}) {
+        vsim::TransferConfig fluid_cfg;
+        fluid_cfg.data = data;
+        fluid_cfg.bg_flows = bg;
+        fluid_cfg.total_bytes = kBytes;
+        fluid_cfg.seed = 99;
+        vsim::TransferExperiment fluid(fluid_cfg);
+        const auto fp = expkit::make_policy(policy_name, fluid);
+        const double fluid_s = fluid.run(*fp).completion_s;
+
+        vsim::PacketSimConfig pkt_cfg;
+        pkt_cfg.data = data;
+        pkt_cfg.bg_flows = bg;
+        pkt_cfg.total_bytes = kBytes;
+        pkt_cfg.seed = 99;
+        vsim::TransferExperiment ctx(fluid_cfg);
+        const auto pp = expkit::make_policy(policy_name, ctx);
+        const auto pkt = vsim::run_packet_transfer(pkt_cfg, *pp);
+
+        const double dev = (pkt.completion_s - fluid_s) / fluid_s;
+        worst = std::max(worst, std::abs(dev));
+        table.row({corpus::to_string(data), std::to_string(bg), policy_name,
+                   expkit::fmt_seconds(fluid_s),
+                   expkit::fmt_seconds(pkt.completion_s),
+                   expkit::fmt(dev * 100.0, 3) + "%",
+                   std::to_string(pkt.fg_packets + pkt.bg_packets)});
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("worst absolute deviation: %.3f%%\n", worst * 100.0);
+  return 0;
+}

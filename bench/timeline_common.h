@@ -1,0 +1,79 @@
+// Shared rendering for the Fig. 4-6 timeline benches.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "expkit/ascii_chart.h"
+#include "expkit/paper_data.h"
+#include "expkit/policies.h"
+#include "vsim/transfer.h"
+
+namespace strato::benchutil {
+
+/// `--csv <path>` from a bench's argv, or empty.
+inline std::string csv_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Run one DYNAMIC transfer with timeline recording and print the Fig. 4
+/// style panels: application/network throughput, CPU utilization and the
+/// chosen compression level over time. When `csv_path` is non-empty the
+/// full per-second series are additionally written as CSV for external
+/// plotting. Returns the result for further summary lines.
+inline vsim::TransferResult run_and_render(vsim::TransferConfig cfg,
+                                           double alpha = 0.2,
+                                           const std::string& csv_path = {}) {
+  cfg.record_timeline = true;
+  vsim::TransferExperiment exp(cfg);
+  auto policy = expkit::make_policy("DYNAMIC", exp, alpha);
+  auto* adaptive = dynamic_cast<core::AdaptivePolicy*>(policy.get());
+  int probes = 0, reverts = 0, decisions = 0;
+  adaptive->set_trace(
+      [&](common::SimTime, double, const core::Decision& d) {
+        ++decisions;
+        if (d.probed) ++probes;
+        if (d.reverted) ++reverts;
+      });
+  const auto res = exp.run(*policy);
+
+  std::printf("completion: %.0f s, raw %.1f GB, wire %.1f GB\n",
+              res.completion_s, res.raw_bytes / 1e9, res.wire_bytes / 1e9);
+  std::printf("decision windows: %d (probes %d, reverts %d)\n\n", decisions,
+              probes, reverts);
+
+  std::printf("application throughput [MBit/s]:\n%s\n",
+              expkit::render_strip(res.timeline.series("app_mbit_s")).c_str());
+  std::printf("network throughput [MBit/s]:\n%s\n",
+              expkit::render_strip(res.timeline.series("net_mbit_s")).c_str());
+  std::printf("VM CPU utilization [%%]:\n%s\n",
+              expkit::render_strip(res.timeline.series("cpu_busy_vm")).c_str());
+  std::printf("compression level over time (N/L/M/H):\n%s\n",
+              expkit::render_level_strip(res.timeline.series("level"),
+                                         res.completion_s)
+                  .c_str());
+
+  std::printf("blocks per level:");
+  for (std::size_t l = 0; l < res.blocks_per_level.size(); ++l) {
+    std::printf(" %s=%llu", expkit::kPolicyNames[l],
+                static_cast<unsigned long long>(res.blocks_per_level[l]));
+  }
+  std::printf("\n");
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (csv) {
+      res.timeline.write_csv(csv, common::SimTime::seconds(1));
+      std::printf("timeline series written to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    }
+  }
+  return res;
+}
+
+}  // namespace strato::benchutil

@@ -1,0 +1,77 @@
+// iomonitor — the paper's measurement methodology as a live tool.
+//
+// Section II builds its study from small auxiliary programs that generate
+// I/O load while sampling /proc/stat once per second. This example does
+// the same on the machine it runs on: it writes file I/O load (to a temp
+// file) and prints, per second, the achieved throughput next to the CPU
+// breakdown the OS displays — including STEAL, the column that exposes
+// co-located load when run inside a VM.
+//
+//   iomonitor [seconds] [path]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "metrics/proc_stat.h"
+
+using namespace strato;
+
+int main(int argc, char** argv) {
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::string path =
+      argc > 2 ? argv[2] : "/tmp/strato_iomonitor.bin";
+
+  std::printf(
+      "Writing file I/O load to %s for %d s, sampling /proc/stat at 1 Hz\n"
+      "(the paper's Section II methodology).\n\n",
+      path.c_str(), seconds);
+  std::printf("%8s %12s   %s\n", "t[s]", "write MB/s", "displayed CPU");
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  // Incompressible buffer so page-cache dedup games cannot flatter us.
+  common::Bytes buf(1 << 20);
+  common::Xoshiro256 rng(1);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+
+  auto prev_stat = metrics::read_proc_stat();
+  const auto start = std::chrono::steady_clock::now();
+  for (int s = 1; s <= seconds; ++s) {
+    const auto deadline = start + std::chrono::seconds(s);
+    std::uint64_t written = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+      out.flush();
+      written += buf.size();
+    }
+    const auto cur_stat = metrics::read_proc_stat();
+    std::string cpu = "(no /proc/stat)";
+    if (prev_stat && cur_stat) {
+      cpu = metrics::to_string(metrics::diff(*prev_stat, *cur_stat));
+    }
+    prev_stat = cur_stat;
+    std::printf("%8d %12.1f   %s\n", s,
+                static_cast<double>(written) / 1e6, cpu.c_str());
+  }
+  out.close();
+  std::remove(path.c_str());
+
+  std::printf(
+      "\nInterpretation (paper Section II): on bare metal the busy\n"
+      "fractions above account for the I/O you see. Inside a VM they\n"
+      "routinely do not — the host-side cost of these writes is invisible\n"
+      "here, and nonzero STEAL means co-located neighbours are taking\n"
+      "cycles right now. That display is what metric-driven compression\n"
+      "schemes trust, and why this library's controller does not.\n");
+  return 0;
+}

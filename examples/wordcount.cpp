@@ -1,0 +1,127 @@
+// Wordcount: a classic dataflow job with typed records over compressed
+// channels.
+//
+// Pipeline: a text source emits line records; a tokenizer maps lines to
+// serialized (word, 1) records (dataflow/serdes.h); an aggregator reduces
+// them to counts. Both hops run over network channels sharing one
+// throttled link, with the paper's adaptive compression on the heavy
+// edge — demonstrating the Nephele-style integration: task code never
+// mentions compression.
+#include <cstdio>
+#include <map>
+
+#include "dataflow/executor.h"
+#include "dataflow/serdes.h"
+#include "dataflow/stdtasks.h"
+
+using namespace strato;
+
+namespace {
+
+using dataflow::ChannelType;
+using dataflow::CompressionSpec;
+
+/// Splits text records into (word, count=1) typed records.
+class Tokenizer final : public dataflow::Task {
+ public:
+  void run(dataflow::TaskContext& ctx) override {
+    while (auto rec = ctx.input(0).next()) {
+      const std::string text = common::to_string(*rec);
+      std::size_t start = 0;
+      while (start < text.size()) {
+        const std::size_t end = text.find_first_of(" \n.,!", start);
+        const std::size_t len =
+            (end == std::string::npos ? text.size() : end) - start;
+        if (len > 0) {
+          dataflow::RecordWriterCursor w;
+          w.put_string(text.substr(start, len));
+          w.put_varint(1);
+          ctx.output(0).emit(w.bytes());
+        }
+        if (end == std::string::npos) break;
+        start = end + 1;
+      }
+    }
+  }
+};
+
+/// Reduces (word, count) records to final counts.
+class Aggregator final : public dataflow::Task {
+ public:
+  explicit Aggregator(std::map<std::string, std::uint64_t>& counts)
+      : counts_(counts) {}
+
+  void run(dataflow::TaskContext& ctx) override {
+    while (auto rec = ctx.input(0).next()) {
+      dataflow::RecordReaderCursor r(*rec);
+      const std::string word = r.get_string();
+      counts_[word] += r.get_varint();
+    }
+  }
+
+ private:
+  std::map<std::string, std::uint64_t>& counts_;
+};
+
+}  // namespace
+
+constexpr std::size_t kTextBytes = 8 << 20;
+
+int main() {
+  std::map<std::string, std::uint64_t> counts;
+
+  dataflow::JobGraph g;
+  const int source = g.add_vertex("text-source", [] {
+    return std::make_unique<dataflow::CorpusSource>(
+        corpus::Compressibility::kModerate, kTextBytes, 4096, 42);
+  });
+  const int tokenizer = g.add_vertex("tokenizer", [] {
+    return std::make_unique<Tokenizer>();
+  });
+  const int aggregator = g.add_vertex("aggregator", [&] {
+    return std::make_unique<Aggregator>(counts);
+  });
+  // Lines travel uncompressed (cheap edge); the word-record stream is the
+  // fat edge and gets the paper's adaptive compression, transparently.
+  g.connect(source, tokenizer, ChannelType::kNetwork,
+            CompressionSpec::none());
+  g.connect(tokenizer, aggregator, ChannelType::kNetwork,
+            CompressionSpec::adaptive_default(common::SimTime::ms(100)));
+
+  dataflow::ExecutorConfig cfg;
+  cfg.shared_link_bytes_s = 30e6;
+  dataflow::Executor exec(cfg);
+  const auto stats = exec.execute(g);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", stats.error.c_str());
+    return 1;
+  }
+
+  std::uint64_t total = 0;
+  for (const auto& [w, c] : counts) total += c;
+  std::printf("job done in %.1f s: %zu distinct words, %llu occurrences\n",
+              stats.wall_seconds, counts.size(),
+              static_cast<unsigned long long>(total));
+
+  // Top five words.
+  std::vector<std::pair<std::uint64_t, std::string>> top;
+  for (const auto& [w, c] : counts) top.emplace_back(c, w);
+  std::sort(top.rbegin(), top.rend());
+  std::printf("top words:");
+  for (std::size_t i = 0; i < 5 && i < top.size(); ++i) {
+    std::printf(" %s(%llu)", top[i].second.c_str(),
+                static_cast<unsigned long long>(top[i].first));
+  }
+  std::printf("\n");
+
+  const auto& edge = stats.channels[1];
+  std::printf(
+      "fat edge: %llu records, raw %.1f MB -> wire %.1f MB (ratio %.2f) — "
+      "compressed transparently by the adaptive channel\n",
+      static_cast<unsigned long long>(edge.records),
+      static_cast<double>(edge.raw_bytes) / 1e6,
+      static_cast<double>(edge.wire_bytes) / 1e6,
+      static_cast<double>(edge.wire_bytes) /
+          static_cast<double>(edge.raw_bytes));
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper plus the ablations,
+# extensions and model validation, teeing each bench's output into
+# results/. Usage: scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -u
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+status=0
+for b in "$BUILD"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  if ! "$b" | tee "$OUT/$name.txt"; then
+    echo "!!! $name failed" >&2
+    status=1
+  fi
+  echo
+done
+
+# Timeline CSVs for external plotting.
+"$BUILD"/bench/bench_fig4_timeline_high --csv "$OUT/fig4_timeline.csv" >/dev/null
+"$BUILD"/bench/bench_fig5_timeline_low  --csv "$OUT/fig5_timeline.csv" >/dev/null
+"$BUILD"/bench/bench_fig6_switch        --csv "$OUT/fig6_timeline.csv" >/dev/null
+echo "outputs in $OUT/"
+exit $status

@@ -1,0 +1,84 @@
+// Byte-buffer primitives shared by every module.
+//
+// All binary interfaces in this project exchange data as spans over
+// `std::byte`-free plain `uint8_t` storage: compression codecs, channel
+// framing and checksums all operate on `ByteSpan` / `MutableByteSpan`.
+// Little-endian field encoding is used throughout the on-wire formats.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strato::common {
+
+/// Immutable view over raw bytes.
+using ByteSpan = std::span<const std::uint8_t>;
+/// Mutable view over raw bytes.
+using MutableByteSpan = std::span<std::uint8_t>;
+/// Owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Reinterpret a string's contents as bytes (no copy).
+inline ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a byte span into a std::string (for tests / debugging).
+inline std::string to_string(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Store a 16-bit value little-endian at `p`.
+inline void store_le16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+/// Store a 32-bit value little-endian at `p`.
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Store a 64-bit value little-endian at `p`.
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Load a 16-bit little-endian value from `p`.
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+/// Load a 32-bit little-endian value from `p`.
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Load a 64-bit little-endian value from `p`.
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Unaligned 64-bit native-endian read used by hashing/LZ match loops.
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Unaligned 32-bit native-endian read used by hashing/LZ match loops.
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace strato::common

@@ -1,0 +1,153 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace strato::common {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+inline std::uint64_t round1(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= round1(0, val);
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+// Finalisation over the <32-byte tail shared by one-shot and streaming paths.
+std::uint64_t finalize(std::uint64_t h, const std::uint8_t* p,
+                       std::size_t len) {
+  while (len >= 8) {
+    h ^= round1(0, load_u64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= static_cast<std::uint64_t>(load_u32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= (*p) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+    --len;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(ByteSpan data, std::uint64_t seed) {
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  std::uint64_t h;
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* limit = p + len - 32;
+    do {
+      v1 = round1(v1, load_u64(p));
+      v2 = round1(v2, load_u64(p + 8));
+      v3 = round1(v3, load_u64(p + 16));
+      v4 = round1(v4, load_u64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<std::uint64_t>(data.size());
+  const std::size_t consumed = static_cast<std::size_t>(p - data.data());
+  return finalize(h, p, data.size() - consumed);
+}
+
+void Xxh64State::reset(std::uint64_t seed) {
+  seed_ = seed;
+  acc_[0] = seed + kPrime1 + kPrime2;
+  acc_[1] = seed + kPrime2;
+  acc_[2] = seed;
+  acc_[3] = seed - kPrime1;
+  buf_len_ = 0;
+  total_len_ = 0;
+}
+
+void Xxh64State::update(ByteSpan data) {
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  total_len_ += len;
+
+  if (buf_len_ + len < 32) {
+    std::memcpy(buf_ + buf_len_, p, len);
+    buf_len_ += len;
+    return;
+  }
+  if (buf_len_ > 0) {
+    const std::size_t fill = 32 - buf_len_;
+    std::memcpy(buf_ + buf_len_, p, fill);
+    acc_[0] = round1(acc_[0], load_u64(buf_));
+    acc_[1] = round1(acc_[1], load_u64(buf_ + 8));
+    acc_[2] = round1(acc_[2], load_u64(buf_ + 16));
+    acc_[3] = round1(acc_[3], load_u64(buf_ + 24));
+    p += fill;
+    len -= fill;
+    buf_len_ = 0;
+  }
+  while (len >= 32) {
+    acc_[0] = round1(acc_[0], load_u64(p));
+    acc_[1] = round1(acc_[1], load_u64(p + 8));
+    acc_[2] = round1(acc_[2], load_u64(p + 16));
+    acc_[3] = round1(acc_[3], load_u64(p + 24));
+    p += 32;
+    len -= 32;
+  }
+  if (len > 0) {
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+std::uint64_t Xxh64State::digest() const {
+  std::uint64_t h;
+  if (total_len_ >= 32) {
+    h = rotl(acc_[0], 1) + rotl(acc_[1], 7) + rotl(acc_[2], 12) +
+        rotl(acc_[3], 18);
+    h = merge_round(h, acc_[0]);
+    h = merge_round(h, acc_[1]);
+    h = merge_round(h, acc_[2]);
+    h = merge_round(h, acc_[3]);
+  } else {
+    h = seed_ + kPrime5;
+  }
+  h += total_len_;
+  return finalize(h, buf_, buf_len_);
+}
+
+}  // namespace strato::common

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace strato::common {
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mu;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard lk(g_mu);
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace strato::common

@@ -1,0 +1,106 @@
+// Simulation time.
+//
+// The discrete-event simulator (src/vsim) and the adaptive controller
+// (src/core) share one notion of time: a strongly-typed nanosecond count.
+// Real-time transports convert from std::chrono; simulated transports
+// advance it through the event queue. Keeping the controller on SimTime
+// means the identical decision code runs in both worlds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace strato::common {
+
+/// Nanosecond-resolution simulation timestamp / duration.
+///
+/// A thin strong type over int64 nanoseconds; supports the arithmetic the
+/// simulator needs and nothing more.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Construct from nanoseconds.
+  static constexpr SimTime ns(std::int64_t v) { return SimTime(v); }
+  /// Construct from microseconds.
+  static constexpr SimTime us(std::int64_t v) { return SimTime(v * 1000); }
+  /// Construct from milliseconds.
+  static constexpr SimTime ms(std::int64_t v) { return SimTime(v * 1000000); }
+  /// Construct from (possibly fractional) seconds.
+  static constexpr SimTime seconds(double v) {
+    return SimTime(static_cast<std::int64_t>(v * 1e9));
+  }
+  /// Largest representable time (used as "never" sentinel).
+  static constexpr SimTime max() {
+    return SimTime(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_millis() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(double f) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_seconds() << "s";
+}
+
+/// Clock abstraction so rate meters / controllers can run on either wall
+/// time or the simulator's virtual time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] SimTime now() const override {
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return SimTime::ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually-advanced clock (unit tests, discrete-event simulation).
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+  /// Move the clock forward (or set it backward in tests).
+  void set(SimTime t) { now_ = t; }
+  void advance(SimTime d) { now_ += d; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace strato::common

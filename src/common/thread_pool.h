@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool.
+//
+// The dataflow executor runs each task vertex on a pool thread; benches use
+// it to run independent experiment repetitions concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strato::common {
+
+/// Fixed-size pool executing std::function jobs FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job; returns a future for its completion.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      jobs_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace strato::common

@@ -1,0 +1,95 @@
+// LSB-first bit stream used by the Huffman-coded codec.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace strato::compress {
+
+/// Appends bits least-significant-first into a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(common::Bytes& out) : out_(out) {}
+
+  /// Write the low `nbits` bits of `value` (nbits <= 32).
+  void write(std::uint32_t value, int nbits) {
+    acc_ |= static_cast<std::uint64_t>(value & mask(nbits)) << filled_;
+    filled_ += nbits;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Flush the final partial byte (zero-padded).
+  void finish() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t mask(int nbits) {
+    return nbits >= 32 ? 0xFFFFFFFFu : ((1u << nbits) - 1u);
+  }
+
+  common::Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// Reads bits least-significant-first from a span. Reading past the end
+/// yields zero bits (trailing padding); structural errors are caught by
+/// the caller's symbol/length validation.
+class BitReader {
+ public:
+  explicit BitReader(common::ByteSpan in) : in_(in) {}
+
+  /// Read `nbits` bits (nbits <= 32).
+  std::uint32_t read(int nbits) {
+    fill(nbits);
+    const auto v = static_cast<std::uint32_t>(
+        acc_ & ((nbits >= 32 ? ~0ULL : ((1ULL << nbits) - 1))));
+    acc_ >>= nbits;
+    filled_ -= nbits;
+    return v;
+  }
+
+  /// Peek up to `nbits` bits without consuming.
+  std::uint32_t peek(int nbits) {
+    fill(nbits);
+    return static_cast<std::uint32_t>(
+        acc_ & ((nbits >= 32 ? ~0ULL : ((1ULL << nbits) - 1))));
+  }
+
+  /// Consume `nbits` previously peeked bits.
+  void skip(int nbits) {
+    acc_ >>= nbits;
+    filled_ -= nbits;
+  }
+
+  /// Bytes consumed from the input so far (including buffered bits).
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+
+ private:
+  void fill(int nbits) {
+    while (filled_ < nbits) {
+      const std::uint64_t byte = pos_ < in_.size() ? in_[pos_] : 0;
+      ++pos_;
+      acc_ |= byte << filled_;
+      filled_ += 8;
+    }
+  }
+
+  common::ByteSpan in_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace strato::compress

@@ -1,0 +1,40 @@
+#include "compress/codec.h"
+
+#include <cstring>
+
+namespace strato::compress {
+
+common::Bytes Codec::compress(common::ByteSpan src) const {
+  common::Bytes out(max_compressed_size(src.size()));
+  const std::size_t n = compress(src, out);
+  out.resize(n);
+  return out;
+}
+
+common::Bytes Codec::decompress(common::ByteSpan src,
+                                std::size_t raw_size) const {
+  common::Bytes out(raw_size);
+  const std::size_t n = decompress(src, out);
+  out.resize(n);
+  return out;
+}
+
+std::size_t NullCodec::compress(common::ByteSpan src,
+                                common::MutableByteSpan dst) const {
+  if (dst.size() < src.size()) {
+    throw CodecError("null codec: destination too small");
+  }
+  std::memcpy(dst.data(), src.data(), src.size());
+  return src.size();
+}
+
+std::size_t NullCodec::decompress(common::ByteSpan src,
+                                  common::MutableByteSpan dst) const {
+  if (dst.size() != src.size()) {
+    throw CodecError("null codec: size mismatch");
+  }
+  std::memcpy(dst.data(), src.data(), src.size());
+  return src.size();
+}
+
+}  // namespace strato::compress

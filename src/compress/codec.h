@@ -1,0 +1,86 @@
+// Codec interface.
+//
+// The paper's compression levels map onto concrete codecs (Section III-B):
+// level 0 = none, level 1 (LIGHT) = QuickLZ-fastest, level 2 (MEDIUM) =
+// QuickLZ tuned for ratio, level 3 (HEAVY) = LZMA. We implement the same
+// speed/ratio ladder from scratch: NullCodec, FastLz, MediumLz, HeavyLz.
+//
+// Codecs are stateless and thread-safe: all working state lives on the
+// stack / in scratch buffers per call, so one instance can serve many
+// channels concurrently.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace strato::compress {
+
+/// Thrown when decompression encounters malformed or truncated input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Stateless block codec. Blocks are self-contained: no dictionary or
+/// probability state survives across compress() calls, which is what lets
+/// every framed 128 KB block be decoded independently (Section III-B).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Stable identifier stored in the block frame (see framing.h).
+  [[nodiscard]] virtual std::uint8_t id() const = 0;
+
+  /// Human-readable name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Worst-case compressed size for `n` input bytes. compress() must never
+  /// write more than this many bytes.
+  [[nodiscard]] virtual std::size_t max_compressed_size(std::size_t n)
+      const = 0;
+
+  /// Compress `src` into `dst` (dst.size() >= max_compressed_size(src.size())).
+  /// @returns number of bytes written.
+  virtual std::size_t compress(common::ByteSpan src,
+                               common::MutableByteSpan dst) const = 0;
+
+  /// Decompress `src` into `dst`, whose size must equal the original raw
+  /// size (known from the block frame). @returns bytes written (== dst size).
+  /// @throws CodecError on malformed input.
+  virtual std::size_t decompress(common::ByteSpan src,
+                                 common::MutableByteSpan dst) const = 0;
+
+  /// Convenience round-trip helpers allocating owning buffers.
+  [[nodiscard]] common::Bytes compress(common::ByteSpan src) const;
+  [[nodiscard]] common::Bytes decompress(common::ByteSpan src,
+                                         std::size_t raw_size) const;
+};
+
+/// Codec ids as stored in block frames.
+enum CodecId : std::uint8_t {
+  kCodecNull = 0,
+  kCodecFastLz = 1,
+  kCodecMediumLz = 2,
+  kCodecHeavyLz = 3,
+};
+
+/// Level 0: stored (memcpy) codec.
+class NullCodec final : public Codec {
+ public:
+  [[nodiscard]] std::uint8_t id() const override { return kCodecNull; }
+  [[nodiscard]] std::string name() const override { return "null"; }
+  [[nodiscard]] std::size_t max_compressed_size(std::size_t n) const override {
+    return n;
+  }
+  std::size_t compress(common::ByteSpan src,
+                       common::MutableByteSpan dst) const override;
+  std::size_t decompress(common::ByteSpan src,
+                         common::MutableByteSpan dst) const override;
+  using Codec::compress;
+  using Codec::decompress;
+};
+
+}  // namespace strato::compress

@@ -1,0 +1,205 @@
+#include "compress/deflate_lz.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+
+namespace strato::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+// Literal/length alphabet: 256 literals + 18 length slots + EOB.
+constexpr std::uint32_t kNumLenSlots = 18;
+constexpr std::uint32_t kEob = 256 + kNumLenSlots;
+constexpr std::size_t kLitLenAlphabet = kEob + 1;
+// Distance alphabet: bit_width(offset) in [1, 16] -> 16 slots.
+constexpr std::size_t kDistAlphabet = 16;
+
+constexpr std::uint8_t kMarkerCoded = 0;
+constexpr std::uint8_t kMarkerStored = 1;
+
+/// One parsed LZ token.
+struct Token {
+  bool is_match = false;
+  std::uint8_t literal = 0;
+  std::uint32_t length = 0;  // match only
+  std::uint32_t offset = 0;  // match only
+};
+
+/// Parse the byte-aligned LZ4-style stream produced by lz77_compress into
+/// tokens (the format is produced locally, so structural errors indicate
+/// an internal bug and throw).
+std::vector<Token> parse_lz_stream(common::ByteSpan lz) {
+  std::vector<Token> tokens;
+  const std::uint8_t* p = lz.data();
+  const std::uint8_t* end = p + lz.size();
+  auto read_ext = [&](std::size_t base) {
+    std::size_t v = base;
+    std::uint8_t b;
+    do {
+      if (p >= end) throw CodecError("deflatelz: bad internal lz stream");
+      b = *p++;
+      v += b;
+    } while (b == 255);
+    return v;
+  };
+  while (p < end) {
+    const std::uint8_t token = *p++;
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len = read_ext(15);
+    for (std::size_t i = 0; i < lit_len; ++i) {
+      if (p >= end) throw CodecError("deflatelz: bad internal lz stream");
+      tokens.push_back({false, *p++, 0, 0});
+    }
+    if (p == end) break;
+    if (p + 2 > end) throw CodecError("deflatelz: bad internal lz stream");
+    const std::uint32_t offset = common::load_le16(p);
+    p += 2;
+    std::size_t match_len = (token & 15) + kMinMatch;
+    if ((token & 15) == 15) match_len = read_ext(15 + kMinMatch);
+    tokens.push_back({true, 0, static_cast<std::uint32_t>(match_len),
+                      offset});
+  }
+  return tokens;
+}
+
+/// Length slot for (match length - kMinMatch).
+inline std::uint32_t len_slot(std::uint32_t v) {
+  return v == 0 ? 0 : static_cast<std::uint32_t>(std::bit_width(v));
+}
+
+}  // namespace
+
+std::size_t DeflateLz::compress(common::ByteSpan src,
+                                common::MutableByteSpan dst) const {
+  if (dst.size() < max_compressed_size(src.size())) {
+    throw CodecError("deflatelz: destination too small");
+  }
+  if (src.empty()) {
+    dst[0] = kMarkerStored;
+    return 1;
+  }
+
+  // LZ parse (MediumLz effort).
+  Lz77Params params;
+  params.hash_bits = 16;
+  params.chain_depth = 8;
+  params.lazy = true;
+  common::Bytes lz(lz77_max_compressed_size(src.size()));
+  lz.resize(lz77_compress(src, lz, params));
+  const std::vector<Token> tokens = parse_lz_stream(lz);
+
+  // Frequencies.
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[256 + len_slot(t.length - kMinMatch)];
+      ++dist_freq[std::bit_width(t.offset) - 1];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const auto lit_lengths = huffman_code_lengths(lit_freq);
+  const auto dist_lengths = huffman_code_lengths(dist_freq);
+  const HuffmanEncoder lit_enc(lit_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  common::Bytes out;
+  out.reserve(src.size() / 2);
+  out.push_back(kMarkerCoded);
+  BitWriter bw(out);
+  for (const auto l : lit_lengths) bw.write(l, 4);
+  for (const auto l : dist_lengths) bw.write(l, 4);
+  for (const Token& t : tokens) {
+    if (!t.is_match) {
+      lit_enc.encode(bw, t.literal);
+      continue;
+    }
+    const std::uint32_t v = t.length - kMinMatch;
+    const std::uint32_t slot = len_slot(v);
+    lit_enc.encode(bw, 256 + slot);
+    if (slot > 1) bw.write(v & ((1u << (slot - 1)) - 1u), slot - 1);
+    const std::uint32_t dslot =
+        static_cast<std::uint32_t>(std::bit_width(t.offset));
+    dist_enc.encode(bw, dslot - 1);
+    if (dslot > 1) {
+      bw.write(t.offset & ((1u << (dslot - 1)) - 1u), dslot - 1);
+    }
+  }
+  lit_enc.encode(bw, kEob);
+  bw.finish();
+
+  if (out.size() >= src.size()) {
+    dst[0] = kMarkerStored;
+    std::memcpy(dst.data() + 1, src.data(), src.size());
+    return src.size() + 1;
+  }
+  std::memcpy(dst.data(), out.data(), out.size());
+  return out.size();
+}
+
+std::size_t DeflateLz::decompress(common::ByteSpan src,
+                                  common::MutableByteSpan dst) const {
+  if (src.empty()) throw CodecError("deflatelz: empty input");
+  const std::uint8_t marker = src[0];
+  const common::ByteSpan body = src.subspan(1);
+  if (marker == kMarkerStored) {
+    if (body.size() != dst.size()) {
+      throw CodecError("deflatelz: stored size mismatch");
+    }
+    std::memcpy(dst.data(), body.data(), body.size());
+    return dst.size();
+  }
+  if (marker != kMarkerCoded) throw CodecError("deflatelz: bad marker");
+
+  BitReader br(body);
+  std::vector<std::uint8_t> lit_lengths(kLitLenAlphabet);
+  std::vector<std::uint8_t> dist_lengths(kDistAlphabet);
+  for (auto& l : lit_lengths) l = static_cast<std::uint8_t>(br.read(4));
+  for (auto& l : dist_lengths) l = static_cast<std::uint8_t>(br.read(4));
+  const HuffmanDecoder lit_dec(lit_lengths);
+  const HuffmanDecoder dist_dec(dist_lengths);
+
+  std::uint8_t* out = dst.data();
+  std::uint8_t* const out_end = out + dst.size();
+  for (;;) {
+    const std::uint32_t sym = lit_dec.decode(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      if (out >= out_end) throw CodecError("deflatelz: output overrun");
+      *out++ = static_cast<std::uint8_t>(sym);
+      continue;
+    }
+    const std::uint32_t slot = sym - 256;
+    if (slot >= kNumLenSlots) throw CodecError("deflatelz: bad length slot");
+    std::uint32_t v = 0;
+    if (slot == 1) {
+      v = 1;
+    } else if (slot > 1) {
+      v = (1u << (slot - 1)) | br.read(static_cast<int>(slot) - 1);
+    }
+    const std::size_t len = v + kMinMatch;
+    const std::uint32_t dslot = dist_dec.decode(br) + 1;
+    std::uint32_t offset = 1u << (dslot - 1);
+    if (dslot > 1) offset |= br.read(static_cast<int>(dslot) - 1);
+    if (offset > static_cast<std::size_t>(out - dst.data())) {
+      throw CodecError("deflatelz: offset before block start");
+    }
+    if (len > static_cast<std::size_t>(out_end - out)) {
+      throw CodecError("deflatelz: match overrun");
+    }
+    const std::uint8_t* from = out - offset;
+    for (std::size_t i = 0; i < len; ++i) out[i] = from[i];
+    out += len;
+  }
+  if (out != out_end) throw CodecError("deflatelz: short output");
+  return dst.size();
+}
+
+}  // namespace strato::compress

@@ -1,0 +1,39 @@
+// DeflateLz: LZ77 + canonical Huffman coding (a deflate-style codec).
+//
+// An additional rung between the byte-aligned MEDIUM format and the
+// range-coded HEAVY codec: the same hash-chain LZ77 parse as MediumLz,
+// but literals/lengths/distances are entropy-coded with per-block
+// canonical Huffman tables. Roughly MediumLz's speed class with a
+// distinctly better ratio — used by the ladder-generality experiments
+// (the paper's Algorithm 1 takes any number of ordered levels).
+//
+// Stream layout per block:
+//   byte 0      marker: 0 = coded, 1 = stored raw
+//   coded:      275 + 16 code lengths (4 bits each, packed LSB-first),
+//               then the Huffman bit stream terminated by EOB.
+// All tables are per block; blocks stay self-contained.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace strato::compress {
+
+/// Extra codec id (the paper ladder uses 0-3).
+inline constexpr std::uint8_t kCodecDeflateLz = 4;
+
+class DeflateLz final : public Codec {
+ public:
+  [[nodiscard]] std::uint8_t id() const override { return kCodecDeflateLz; }
+  [[nodiscard]] std::string name() const override { return "deflatelz"; }
+  [[nodiscard]] std::size_t max_compressed_size(std::size_t n) const override {
+    return n + 16;
+  }
+  std::size_t compress(common::ByteSpan src,
+                       common::MutableByteSpan dst) const override;
+  std::size_t decompress(common::ByteSpan src,
+                         common::MutableByteSpan dst) const override;
+  using Codec::compress;
+  using Codec::decompress;
+};
+
+}  // namespace strato::compress

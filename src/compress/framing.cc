@@ -1,0 +1,90 @@
+#include "compress/framing.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "compress/registry.h"
+
+namespace strato::compress {
+
+common::Bytes encode_block(const Codec& codec, std::uint8_t level,
+                           common::ByteSpan payload) {
+  common::Bytes frame(kFrameHeaderSize + codec.max_compressed_size(payload.size()));
+  std::size_t comp_size = codec.compress(
+      payload, common::MutableByteSpan(frame).subspan(kFrameHeaderSize));
+  std::uint8_t codec_id = codec.id();
+  if (comp_size >= payload.size() && codec_id != kCodecNull) {
+    // Compression lost; store raw so the frame never expands beyond the
+    // header overhead.
+    comp_size = payload.size();
+    codec_id = kCodecNull;
+    std::memcpy(frame.data() + kFrameHeaderSize, payload.data(),
+                payload.size());
+  }
+  frame.resize(kFrameHeaderSize + comp_size);
+
+  std::uint8_t* h = frame.data();
+  common::store_le32(h, kFrameMagic);
+  h[4] = level;
+  h[5] = codec_id;
+  common::store_le16(h + 6, 0);
+  common::store_le32(h + 8, static_cast<std::uint32_t>(payload.size()));
+  common::store_le32(h + 12, static_cast<std::uint32_t>(comp_size));
+  common::store_le64(h + 16, common::xxh64(payload));
+  return frame;
+}
+
+FrameHeader parse_header(common::ByteSpan frame) {
+  if (frame.size() < kFrameHeaderSize) {
+    throw CodecError("frame: truncated header");
+  }
+  if (common::load_le32(frame.data()) != kFrameMagic) {
+    throw CodecError("frame: bad magic");
+  }
+  FrameHeader hdr;
+  hdr.level = frame[4];
+  hdr.codec_id = frame[5];
+  hdr.raw_size = common::load_le32(frame.data() + 8);
+  hdr.comp_size = common::load_le32(frame.data() + 12);
+  hdr.checksum = common::load_le64(frame.data() + 16);
+  return hdr;
+}
+
+common::Bytes decode_block(common::ByteSpan frame,
+                           const CodecRegistry& registry) {
+  const FrameHeader hdr = parse_header(frame);
+  if (frame.size() != kFrameHeaderSize + hdr.comp_size) {
+    throw CodecError("frame: size mismatch");
+  }
+  const Codec& codec = registry.codec_by_id(hdr.codec_id);
+  common::Bytes raw(hdr.raw_size);
+  codec.decompress(frame.subspan(kFrameHeaderSize), raw);
+  if (common::xxh64(raw) != hdr.checksum) {
+    throw CodecError("frame: checksum mismatch");
+  }
+  return raw;
+}
+
+void FrameAssembler::feed(common::ByteSpan data) {
+  // Compact the buffer when the consumed prefix dominates.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<common::Bytes> FrameAssembler::next_block() {
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kFrameHeaderSize) return std::nullopt;
+  const common::ByteSpan view(buf_.data() + off_, avail);
+  const FrameHeader hdr = parse_header(view);
+  const std::size_t total = kFrameHeaderSize + hdr.comp_size;
+  if (avail < total) return std::nullopt;
+  common::Bytes block = decode_block(view.subspan(0, total), registry_);
+  last_ = hdr;
+  off_ += total;
+  return block;
+}
+
+}  // namespace strato::compress

@@ -1,0 +1,89 @@
+// Self-contained block framing.
+//
+// Section III-B: Nephele buffers channel data in blocks of at most 128 KB
+// and passes each block independently to the currently selected codec;
+// every block carries all information needed to decompress it. Our frame:
+//
+//   offset  size  field
+//   0       4     magic "SBK1"
+//   4       1     compression level (0..n-1, as chosen by the policy)
+//   5       1     codec id (may differ from the level's codec when the
+//                 encoder fell back to stored because compression lost)
+//   6       2     reserved (zero)
+//   8       4     raw payload size (LE)
+//   12      4     compressed payload size (LE)
+//   16      8     XXH64 of the *raw* payload (LE)
+//   24      ...   compressed payload
+//
+// The checksum is over the raw payload so corruption anywhere in codec or
+// channel is detected after decompression.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace strato::compress {
+
+class CodecRegistry;
+
+/// Frame header constants.
+inline constexpr std::size_t kFrameHeaderSize = 24;
+inline constexpr std::uint32_t kFrameMagic = 0x314B4253u;  // "SBK1" LE
+/// The paper's channel block size.
+inline constexpr std::size_t kDefaultBlockSize = 128 * 1024;
+
+/// Parsed frame header.
+struct FrameHeader {
+  std::uint8_t level = 0;
+  std::uint8_t codec_id = 0;
+  std::uint32_t raw_size = 0;
+  std::uint32_t comp_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Encode `payload` into a framed block using `codec`, recording `level`.
+/// Falls back to stored (NullCodec id) when compression does not help.
+/// @returns the full frame (header + payload).
+common::Bytes encode_block(const Codec& codec, std::uint8_t level,
+                           common::ByteSpan payload);
+
+/// Parse and validate a frame header. @throws CodecError on bad magic or
+/// truncated header.
+FrameHeader parse_header(common::ByteSpan frame);
+
+/// Decode one framed block (header + payload, exact size). Verifies the
+/// checksum. @throws CodecError on any inconsistency.
+common::Bytes decode_block(common::ByteSpan frame,
+                           const CodecRegistry& registry);
+
+/// Incremental frame extractor for byte-stream transports: feed arbitrary
+/// chunks, pop complete decoded blocks.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(const CodecRegistry& registry)
+      : registry_(registry) {}
+
+  /// Append received bytes.
+  void feed(common::ByteSpan data);
+
+  /// Decode and return the next complete block, or nullopt if more bytes
+  /// are needed. @throws CodecError on malformed frames.
+  std::optional<common::Bytes> next_block();
+
+  /// Header of the most recently returned block (level/codec statistics).
+  [[nodiscard]] const FrameHeader& last_header() const { return last_; }
+
+  /// Bytes buffered but not yet consumed.
+  [[nodiscard]] std::size_t pending() const { return buf_.size() - off_; }
+
+ private:
+  const CodecRegistry& registry_;
+  common::Bytes buf_;
+  std::size_t off_ = 0;
+  FrameHeader last_;
+};
+
+}  // namespace strato::compress

@@ -1,0 +1,213 @@
+#include "compress/heavy_lz.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "compress/range_coder.h"
+
+namespace strato::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxLen = 259;        // kMinMatch + 255 (8-bit tree)
+constexpr std::size_t kMaxDist = (1u << 24) - 1;
+constexpr int kHashBits = 17;
+constexpr int kChainDepth = 96;
+
+constexpr std::uint8_t kMarkerCoded = 0;
+constexpr std::uint8_t kMarkerStored = 1;
+
+inline std::uint32_t hash32(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// The per-block adaptive model set. Reset per block (self-contained).
+struct Models {
+  BitModel is_match[2];     // context: previous symbol was a match
+  BitTree<8> literal[8];    // context: previous byte >> 5
+  BitTree<8> length;        // match length - kMinMatch
+  BitTree<5> dist_nbits;    // bit-width of distance, minus one
+};
+
+void encode_distance(RangeEncoder& enc, Models& m, std::uint32_t dist) {
+  const int nbits = std::bit_width(dist);  // dist >= 1 -> nbits >= 1
+  m.dist_nbits.encode(enc, static_cast<std::uint32_t>(nbits - 1));
+  if (nbits > 1) {
+    // Low bits after the implicit leading one.
+    enc.encode_direct(dist & ((1u << (nbits - 1)) - 1u), nbits - 1);
+  }
+}
+
+std::uint32_t decode_distance(RangeDecoder& dec, Models& m) {
+  const int nbits = static_cast<int>(m.dist_nbits.decode(dec)) + 1;
+  std::uint32_t dist = 1u << (nbits - 1);
+  if (nbits > 1) dist |= dec.decode_direct(nbits - 1);
+  return dist;
+}
+
+struct Match {
+  std::size_t len = 0;
+  std::size_t dist = 0;
+};
+
+/// Deep hash-chain match finder over the whole block.
+class ChainFinder {
+ public:
+  explicit ChainFinder(common::ByteSpan src)
+      : src_(src.data()),
+        n_(src.size()),
+        head_(std::size_t{1} << kHashBits, kNoPos),
+        prev_(src.size(), kNoPos) {}
+
+  Match find(std::size_t i) const {
+    Match best;
+    if (i + kMinMatch > n_) return best;
+    const std::uint8_t* limit = src_ + n_;
+    std::uint32_t cand = head_[hash32(load_tail(i))];
+    int depth = kChainDepth;
+    while (cand != kNoPos && depth-- > 0) {
+      const std::size_t c = cand;
+      if (i - c > kMaxDist) break;
+      std::size_t len = 0;
+      const std::uint8_t* a = src_ + i;
+      const std::uint8_t* b = src_ + c;
+      while (a + len < limit && a[len] == b[len]) ++len;
+      if (len >= kMinMatch && len > best.len) {
+        best.len = len;
+        best.dist = i - c;
+        if (len >= kMaxLen) break;  // long enough, stop searching
+      }
+      cand = prev_[c];
+    }
+    best.len = std::min(best.len, kMaxLen);
+    return best;
+  }
+
+  void insert(std::size_t i) {
+    if (i + kMinMatch > n_) return;
+    const std::uint32_t h = hash32(load_tail(i));
+    prev_[i] = head_[h];
+    head_[h] = static_cast<std::uint32_t>(i);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+  /// 4-byte load that is safe near the end of the block.
+  std::uint32_t load_tail(std::size_t i) const {
+    if (i + 4 <= n_) return common::load_u32(src_ + i);
+    std::uint32_t v = 0;
+    std::memcpy(&v, src_ + i, n_ - i);
+    return v;
+  }
+
+  const std::uint8_t* src_;
+  std::size_t n_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+}  // namespace
+
+std::size_t HeavyLz::compress(common::ByteSpan src,
+                              common::MutableByteSpan dst) const {
+  if (dst.size() < max_compressed_size(src.size())) {
+    throw CodecError("heavylz: destination too small");
+  }
+  if (src.empty()) {
+    dst[0] = kMarkerStored;
+    return 1;
+  }
+
+  RangeEncoder enc;
+  auto models = std::make_unique<Models>();
+  ChainFinder finder(src);
+
+  std::size_t i = 0;
+  std::uint32_t prev_byte = 0;
+  std::uint32_t last_was_match = 0;
+  while (i < src.size()) {
+    Match m = finder.find(i);
+    if (m.len >= kMinMatch) {
+      enc.encode_bit(models->is_match[last_was_match], 1);
+      models->length.encode(enc, static_cast<std::uint32_t>(m.len - kMinMatch));
+      encode_distance(enc, *models, static_cast<std::uint32_t>(m.dist));
+      for (std::size_t j = i; j < i + m.len; ++j) finder.insert(j);
+      i += m.len;
+      prev_byte = src[i - 1];
+      last_was_match = 1;
+    } else {
+      enc.encode_bit(models->is_match[last_was_match], 0);
+      models->literal[prev_byte >> 5].encode(enc, src[i]);
+      finder.insert(i);
+      prev_byte = src[i];
+      ++i;
+      last_was_match = 0;
+    }
+  }
+  enc.finish();
+
+  const common::Bytes& coded = enc.bytes();
+  if (coded.size() + 1 >= src.size()) {
+    // Entropy coding lost; store raw (keeps the worst-case bound tight).
+    dst[0] = kMarkerStored;
+    std::memcpy(dst.data() + 1, src.data(), src.size());
+    return src.size() + 1;
+  }
+  dst[0] = kMarkerCoded;
+  std::memcpy(dst.data() + 1, coded.data(), coded.size());
+  return coded.size() + 1;
+}
+
+std::size_t HeavyLz::decompress(common::ByteSpan src,
+                                common::MutableByteSpan dst) const {
+  if (src.empty()) throw CodecError("heavylz: empty input");
+  const std::uint8_t marker = src[0];
+  common::ByteSpan body = src.subspan(1);
+  if (marker == kMarkerStored) {
+    if (body.size() != dst.size()) {
+      throw CodecError("heavylz: stored size mismatch");
+    }
+    std::memcpy(dst.data(), body.data(), body.size());
+    return dst.size();
+  }
+  if (marker != kMarkerCoded) throw CodecError("heavylz: bad marker");
+  if (dst.empty()) return 0;
+
+  RangeDecoder dec(body);
+  auto models = std::make_unique<Models>();
+  std::uint8_t* out = dst.data();
+  std::uint8_t* const out_end = out + dst.size();
+  std::uint32_t prev_byte = 0;
+  std::uint32_t last_was_match = 0;
+
+  while (out < out_end) {
+    if (dec.decode_bit(models->is_match[last_was_match])) {
+      const std::size_t len = models->length.decode(dec) + kMinMatch;
+      const std::size_t dist = decode_distance(dec, *models);
+      if (dist > static_cast<std::size_t>(out - dst.data())) {
+        throw CodecError("heavylz: distance before block start");
+      }
+      if (len > static_cast<std::size_t>(out_end - out)) {
+        throw CodecError("heavylz: match overrun");
+      }
+      const std::uint8_t* from = out - dist;
+      for (std::size_t k = 0; k < len; ++k) out[k] = from[k];
+      out += len;
+      prev_byte = out[-1];
+      last_was_match = 1;
+    } else {
+      *out = static_cast<std::uint8_t>(
+          models->literal[prev_byte >> 5].decode(dec));
+      prev_byte = *out;
+      ++out;
+      last_was_match = 0;
+    }
+  }
+  return dst.size();
+}
+
+}  // namespace strato::compress

@@ -1,0 +1,164 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace strato::compress {
+
+namespace {
+
+std::uint32_t reverse_bits(std::uint32_t code, int len) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < len; ++i) {
+    r = (r << 1) | (code & 1u);
+    code >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits) {
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::size_t> used;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) used.push_back(s);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+  if ((std::size_t{1} << max_bits) < used.size()) {
+    throw CodecError("huffman: alphabet too large for length limit");
+  }
+
+  // 1. Unbounded Huffman via a min-heap over (weight, node).
+  struct Node {
+    std::uint64_t weight;
+    int left;   // node index or -1
+    int right;
+    std::size_t symbol;  // leaves only
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(used.size() * 2);
+  using HeapItem = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (const auto s : used) {
+    nodes.push_back({freqs[s], -1, -1, s});
+    heap.emplace(freqs[s], static_cast<int>(nodes.size()) - 1);
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, 0});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+  // Depth-first assignment of depths.
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.left < 0) {
+      lengths[node.symbol] =
+          static_cast<std::uint8_t>(std::max(1, depth));
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+
+  // 2. Length-limit repair (zlib-style): clamp overlong codes to max_bits,
+  // then restore the Kraft inequality by deepening the cheapest shallower
+  // codes.
+  std::uint64_t kraft = 0;  // in units of 2^-max_bits
+  const std::uint64_t budget = std::uint64_t{1} << max_bits;
+  for (const auto s : used) {
+    if (lengths[s] > max_bits) {
+      lengths[s] = static_cast<std::uint8_t>(max_bits);
+    }
+    kraft += budget >> lengths[s];
+  }
+  while (kraft > budget) {
+    // Deepen the lowest-frequency symbol that still has room.
+    std::size_t pick = n;
+    for (const auto s : used) {
+      if (lengths[s] < max_bits &&
+          (pick == n || freqs[s] < freqs[pick])) {
+        pick = s;
+      }
+    }
+    if (pick == n) throw CodecError("huffman: cannot satisfy length limit");
+    kraft -= budget >> lengths[pick];
+    ++lengths[pick];
+    kraft += budget >> lengths[pick];
+  }
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths) {
+  // Canonical assignment: codes ordered by (length, symbol).
+  std::uint32_t bl_count[kMaxHuffmanBits + 1] = {};
+  for (const auto l : lengths_) ++bl_count[l];
+  bl_count[0] = 0;
+  std::uint32_t next_code[kMaxHuffmanBits + 2] = {};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    const int len = lengths_[s];
+    if (len == 0) continue;
+    codes_[s] = reverse_bits(next_code[len]++, len);  // LSB-first stream
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
+    : table_(std::size_t{1} << kMaxHuffmanBits) {
+  std::uint32_t bl_count[kMaxHuffmanBits + 1] = {};
+  std::uint64_t kraft = 0;
+  for (const auto l : lengths) {
+    if (l > kMaxHuffmanBits) throw CodecError("huffman: bad code length");
+    if (l > 0) {
+      ++bl_count[l];
+      kraft += (std::uint64_t{1} << kMaxHuffmanBits) >> l;
+    }
+  }
+  if (kraft > (std::uint64_t{1} << kMaxHuffmanBits)) {
+    throw CodecError("huffman: over-subscribed code");
+  }
+  std::uint32_t next_code[kMaxHuffmanBits + 2] = {};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    const std::uint32_t canonical = next_code[len]++;
+    const std::uint32_t base = reverse_bits(canonical, len);
+    const std::size_t step = std::size_t{1} << len;
+    for (std::size_t i = base; i < table_.size(); i += step) {
+      table_[i] = {static_cast<std::uint16_t>(s),
+                   static_cast<std::uint8_t>(len)};
+    }
+  }
+}
+
+std::uint32_t HuffmanDecoder::decode(BitReader& br) const {
+  const Entry e = table_[br.peek(kMaxHuffmanBits)];
+  if (e.length == 0) throw CodecError("huffman: invalid code");
+  br.skip(e.length);
+  return e.symbol;
+}
+
+}  // namespace strato::compress

@@ -1,0 +1,66 @@
+// Canonical, length-limited Huffman coding.
+//
+// Code lengths come from an unbounded Huffman build followed by a
+// zlib-style length-limit repair (clamp to the maximum, then deepen the
+// cheapest shallower codes until the Kraft inequality holds again), and
+// are canonicalized so only the length array needs to be transmitted
+// (4 bits per symbol). Used by the DeflateLz codec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.h"
+
+namespace strato::compress {
+
+/// Maximum code length supported (fits the 4-bit on-wire length field).
+inline constexpr int kMaxHuffmanBits = 15;
+
+/// Compute length-limited code lengths for the given symbol frequencies
+/// (Huffman + repair). Symbols with zero frequency get length 0.
+/// If fewer than two symbols occur, the occurring symbol gets length 1.
+/// @throws CodecError if the alphabet cannot be coded within max_bits
+/// (only possible when 2^max_bits < number of used symbols).
+std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits = kMaxHuffmanBits);
+
+/// Canonical encoder table built from code lengths.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const std::vector<std::uint8_t>& lengths);
+
+  /// Emit the code for `symbol`.
+  void encode(BitWriter& bw, std::uint32_t symbol) const {
+    bw.write(codes_[symbol], lengths_[symbol]);
+  }
+
+  [[nodiscard]] int length(std::uint32_t symbol) const {
+    return lengths_[symbol];
+  }
+
+ private:
+  std::vector<std::uint32_t> codes_;  // bit-reversed for LSB-first writing
+  std::vector<std::uint8_t> lengths_;
+};
+
+/// Canonical decoder built from the same lengths.
+class HuffmanDecoder {
+ public:
+  /// @throws CodecError when the length array is not a valid (sub-)Kraft
+  /// code.
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  /// Decode the next symbol. @throws CodecError on an invalid code.
+  std::uint32_t decode(BitReader& br) const;
+
+ private:
+  // Single-level lookup table: kMaxHuffmanBits-bit window -> (symbol, len).
+  struct Entry {
+    std::uint16_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = invalid window
+  };
+  std::vector<Entry> table_;
+};
+
+}  // namespace strato::compress

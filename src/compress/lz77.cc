@@ -1,0 +1,322 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace strato::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+// The final kTailLiterals bytes of a block are always literals; match
+// search stops kMatchGuard before the end so forward extension can use
+// word-at-a-time compares without running past the buffer.
+constexpr std::size_t kTailLiterals = 5;
+constexpr std::size_t kMatchGuard = 12;
+
+inline std::uint32_t hash32(std::uint32_t v, int bits) {
+  return (v * 2654435761u) >> (32 - bits);
+}
+
+/// Length of the common prefix of [a..limit) and [b..), a > b.
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                const std::uint8_t* limit) {
+  const std::uint8_t* start = a;
+  while (a + 8 <= limit) {
+    const std::uint64_t diff = common::load_u64(a) ^ common::load_u64(b);
+    if (diff != 0) {
+      return static_cast<std::size_t>(a - start) +
+             static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
+    }
+    a += 8;
+    b += 8;
+  }
+  while (a < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(a - start);
+}
+
+/// Output cursor with LZ4-style token emission.
+class SeqWriter {
+ public:
+  explicit SeqWriter(common::MutableByteSpan dst) : dst_(dst) {}
+
+  /// Emit one sequence: literals [lit, lit+lit_len) followed by a match of
+  /// `match_len` (0 = final literal-only sequence) at distance `offset`.
+  void emit(const std::uint8_t* lit, std::size_t lit_len,
+            std::size_t match_len, std::size_t offset) {
+    const std::size_t ml_code = match_len == 0 ? 0 : match_len - kMinMatch;
+    std::uint8_t token =
+        static_cast<std::uint8_t>(std::min<std::size_t>(lit_len, 15) << 4);
+    token |= static_cast<std::uint8_t>(std::min<std::size_t>(ml_code, 15));
+    put(token);
+    if (lit_len >= 15) put_ext(lit_len - 15);
+    std::memcpy(dst_.data() + pos_, lit, lit_len);
+    pos_ += lit_len;
+    if (match_len == 0) return;
+    common::store_le16(dst_.data() + pos_, static_cast<std::uint16_t>(offset));
+    pos_ += 2;
+    if (ml_code >= 15) put_ext(ml_code - 15);
+  }
+
+  [[nodiscard]] std::size_t written() const { return pos_; }
+
+ private:
+  void put(std::uint8_t b) { dst_[pos_++] = b; }
+  void put_ext(std::size_t rem) {
+    while (rem >= 255) {
+      put(255);
+      rem -= 255;
+    }
+    put(static_cast<std::uint8_t>(rem));
+  }
+
+  common::MutableByteSpan dst_;
+  std::size_t pos_ = 0;
+};
+
+struct Match {
+  std::size_t len = 0;
+  std::size_t offset = 0;
+};
+
+/// Hash-chain match finder over one block. chain_depth 0 degrades to a
+/// single-probe table (the FAST path).
+class MatchFinder {
+ public:
+  MatchFinder(common::ByteSpan src, const Lz77Params& p)
+      : src_(src.data()),
+        n_(src.size()),
+        params_(p),
+        head_(std::size_t{1} << p.hash_bits, kNoPos),
+        prev_(p.chain_depth > 0 ? src.size() : 0, kNoPos) {}
+
+  /// Best match at position i (i + kMatchGuard <= n). Returns len 0 if none.
+  Match find(std::size_t i) const {
+    const std::uint32_t h =
+        hash32(common::load_u32(src_ + i), params_.hash_bits);
+    std::uint32_t cand = head_[h];
+    Match best;
+    const std::uint8_t* limit = src_ + n_ - kTailLiterals;
+    int depth = std::max(1, params_.chain_depth);
+    while (cand != kNoPos && depth-- > 0) {
+      const std::size_t c = cand;
+      if (i - c > kMaxOffset) break;
+      if (common::load_u32(src_ + c) == common::load_u32(src_ + i)) {
+        const std::size_t len =
+            match_length(src_ + i, src_ + c, limit);
+        if (len >= kMinMatch && len > best.len) {
+          best.len = len;
+          best.offset = i - c;
+        }
+      }
+      if (prev_.empty()) break;
+      cand = prev_[c];
+    }
+    return best;
+  }
+
+  /// Register position i in the hash structures.
+  void insert(std::size_t i) {
+    const std::uint32_t h =
+        hash32(common::load_u32(src_ + i), params_.hash_bits);
+    if (!prev_.empty()) prev_[i] = head_[h];
+    head_[h] = static_cast<std::uint32_t>(i);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+  const std::uint8_t* src_;
+  std::size_t n_;
+  Lz77Params params_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+}  // namespace
+
+std::size_t lz77_compress(common::ByteSpan src, common::MutableByteSpan dst,
+                          const Lz77Params& params) {
+  return lz77_compress_with_history(src, 0, dst, params);
+}
+
+std::size_t lz77_compress_with_history(common::ByteSpan buffer,
+                                       std::size_t history_len,
+                                       common::MutableByteSpan dst,
+                                       const Lz77Params& params) {
+  SeqWriter out(dst);
+  const std::size_t n = buffer.size();
+  const std::size_t h = std::min(history_len, n);
+  const std::size_t block = n - h;
+  if (block < kMatchGuard + kTailLiterals) {
+    out.emit(buffer.data() + h, block, 0, 0);
+    return out.written();
+  }
+
+  MatchFinder finder(buffer, params);
+  // Pre-warm the hash structures with the retained window so matches can
+  // reach back into previous blocks.
+  if (h > 0 && n >= 4) {
+    const std::size_t warm_end = std::min(h, n - 3);
+    for (std::size_t j = 0; j < warm_end; ++j) finder.insert(j);
+  }
+  const std::size_t search_end = n - kMatchGuard;
+  std::size_t anchor = h;
+  std::size_t i = h;
+  std::size_t misses = 0;
+  const common::ByteSpan src = buffer;
+
+  while (i < search_end) {
+    Match m = finder.find(i);
+    finder.insert(i);
+    if (m.len == 0) {
+      // Skip acceleration: advance faster the longer we fail to match.
+      ++misses;
+      i += 1 + (params.chain_depth == 0 ? (misses >> params.skip_shift) : 0);
+      continue;
+    }
+    // Lazy matching: if the next position has a strictly better match,
+    // emit this byte as a literal instead.
+    if (params.lazy && i + 1 < search_end) {
+      Match m2 = finder.find(i + 1);
+      if (m2.len > m.len + 1) {
+        ++i;
+        continue;  // i+1 gets inserted on the next loop iteration
+      }
+    }
+    misses = 0;
+    // Extend the match backward over pending literals.
+    while (i > anchor && m.offset < i && src[i - 1] == src[i - 1 - m.offset]) {
+      --i;
+      ++m.len;
+    }
+    out.emit(src.data() + anchor, i - anchor, m.len, m.offset);
+    // Register a few positions inside the match so later data can match
+    // into it (cheap partial insertion keeps the fast path fast).
+    const std::size_t match_end = std::min(i + m.len, search_end);
+    if (params.chain_depth > 0) {
+      for (std::size_t j = i + 1; j < match_end; ++j) finder.insert(j);
+    } else if (i + 2 < match_end) {
+      finder.insert(i + 2);
+    }
+    i += m.len;
+    anchor = i;
+  }
+  out.emit(src.data() + anchor, n - anchor, 0, 0);
+  return out.written();
+}
+
+std::size_t lz77_decompress(common::ByteSpan src,
+                            common::MutableByteSpan dst) {
+  return lz77_decompress_with_history(src, dst, 0, dst.size());
+}
+
+std::size_t lz77_decompress_with_history(common::ByteSpan src,
+                                         common::MutableByteSpan buffer,
+                                         std::size_t history_len,
+                                         std::size_t raw_size) {
+  if (history_len + raw_size > buffer.size()) {
+    throw CodecError("lz77: history buffer too small");
+  }
+  const std::uint8_t* in = src.data();
+  const std::uint8_t* in_end = in + src.size();
+  std::uint8_t* const base = buffer.data();
+  std::uint8_t* out = base + history_len;
+  std::uint8_t* out_end = out + raw_size;
+
+  auto read_ext = [&](std::size_t base) -> std::size_t {
+    std::size_t v = base;
+    std::uint8_t b;
+    do {
+      if (in >= in_end) throw CodecError("lz77: truncated length");
+      b = *in++;
+      v += b;
+    } while (b == 255);
+    return v;
+  };
+
+  if (src.empty()) {
+    if (raw_size != 0) throw CodecError("lz77: empty input, nonempty output");
+    return 0;
+  }
+
+  for (;;) {
+    if (in >= in_end) throw CodecError("lz77: truncated block");
+    const std::uint8_t token = *in++;
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len = read_ext(15);
+    if (lit_len > static_cast<std::size_t>(in_end - in) ||
+        lit_len > static_cast<std::size_t>(out_end - out)) {
+      throw CodecError("lz77: literal overrun");
+    }
+    std::memcpy(out, in, lit_len);
+    in += lit_len;
+    out += lit_len;
+    if (in == in_end) break;  // final literal-only sequence
+
+    if (in + 2 > in_end) throw CodecError("lz77: truncated offset");
+    const std::size_t offset = common::load_le16(in);
+    in += 2;
+    if (offset == 0) throw CodecError("lz77: zero offset");
+    std::size_t match_len = (token & 15) + kMinMatch;
+    if ((token & 15) == 15) match_len = read_ext(15 + kMinMatch);
+    if (offset > static_cast<std::size_t>(out - base)) {
+      throw CodecError("lz77: offset before window start");
+    }
+    if (match_len > static_cast<std::size_t>(out_end - out)) {
+      throw CodecError("lz77: match overrun");
+    }
+    const std::uint8_t* from = out - offset;
+    if (offset >= 8) {
+      // Non-overlapping (w.r.t. 8-byte strides) fast copy.
+      std::uint8_t* d = out;
+      const std::uint8_t* s = from;
+      std::size_t rem = match_len;
+      while (rem >= 8) {
+        std::memcpy(d, s, 8);
+        d += 8;
+        s += 8;
+        rem -= 8;
+      }
+      while (rem--) *d++ = *s++;
+    } else {
+      for (std::size_t k = 0; k < match_len; ++k) out[k] = from[k];
+    }
+    out += match_len;
+  }
+  if (out != out_end) throw CodecError("lz77: short output");
+  return raw_size;
+}
+
+std::size_t FastLz::compress(common::ByteSpan src,
+                             common::MutableByteSpan dst) const {
+  Lz77Params p;
+  p.hash_bits = 14;
+  p.chain_depth = 0;
+  p.lazy = false;
+  return lz77_compress(src, dst, p);
+}
+
+std::size_t FastLz::decompress(common::ByteSpan src,
+                               common::MutableByteSpan dst) const {
+  return lz77_decompress(src, dst);
+}
+
+std::size_t MediumLz::compress(common::ByteSpan src,
+                               common::MutableByteSpan dst) const {
+  Lz77Params p;
+  p.hash_bits = 16;
+  p.chain_depth = 8;
+  p.lazy = true;
+  return lz77_compress(src, dst, p);
+}
+
+std::size_t MediumLz::decompress(common::ByteSpan src,
+                                 common::MutableByteSpan dst) const {
+  return lz77_decompress(src, dst);
+}
+
+}  // namespace strato::compress

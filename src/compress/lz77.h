@@ -1,0 +1,102 @@
+// Byte-oriented LZ77 engine (QuickLZ substitute).
+//
+// One match-finding/encoding engine parameterised by effort serves both
+// the LIGHT (FastLz) and MEDIUM (MediumLz) levels, mirroring the paper's
+// use of QuickLZ at two settings. The on-wire format is LZ4-style:
+//
+//   sequence := token | [lit-len ext]* | literals | offset16 | [match-len ext]*
+//   token    := (literal_count:4 | match_len-4:4), 15 escapes to extension
+//               bytes of 255... terminated by a byte < 255
+//   offset16 := little-endian distance in [1, 65535]
+//
+// A block ends with a final sequence that stops after its literals.
+// Matches are at least 4 bytes; the last 5 bytes of a block are always
+// emitted as literals (simplifies safe copy loops).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace strato::compress {
+
+/// Match-finder effort knobs.
+struct Lz77Params {
+  /// log2 of hash-table size.
+  int hash_bits = 14;
+  /// Hash-chain search depth; 0 = single-probe greedy (fastest).
+  int chain_depth = 0;
+  /// One-step-lazy matching (defer a match if position+1 has a better one).
+  bool lazy = false;
+  /// Literal-run skip acceleration shift (LZ4-style); larger = more
+  /// aggressive skipping through incompressible regions.
+  int skip_shift = 6;
+};
+
+/// Compress with the given effort. Returns bytes written to dst.
+/// dst must hold at least lz77_max_compressed_size(src.size()).
+std::size_t lz77_compress(common::ByteSpan src, common::MutableByteSpan dst,
+                          const Lz77Params& params);
+
+/// Decompress an LZ77 block; dst.size() must be the exact raw size.
+/// @throws CodecError on malformed input.
+std::size_t lz77_decompress(common::ByteSpan src, common::MutableByteSpan dst);
+
+/// History-aware variant: compress buffer[history_len..] with matches
+/// allowed to reach back into buffer[0..history_len) (the retained window
+/// of previous blocks). With history_len = 0 this is lz77_compress.
+/// Used by the streaming (non-self-contained) mode that ablates the
+/// paper's block-independence design choice.
+std::size_t lz77_compress_with_history(common::ByteSpan buffer,
+                                       std::size_t history_len,
+                                       common::MutableByteSpan dst,
+                                       const Lz77Params& params);
+
+/// Decompress into buffer[history_len .. history_len+raw_size); match
+/// copies may read from the history prefix. Returns bytes written.
+std::size_t lz77_decompress_with_history(common::ByteSpan src,
+                                         common::MutableByteSpan buffer,
+                                         std::size_t history_len,
+                                         std::size_t raw_size);
+
+/// Worst-case output bound for `n` input bytes.
+constexpr std::size_t lz77_max_compressed_size(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+/// Level 1, LIGHT: greedy single-probe matcher, QuickLZ-fastest analogue.
+class FastLz final : public Codec {
+ public:
+  [[nodiscard]] std::uint8_t id() const override { return kCodecFastLz; }
+  [[nodiscard]] std::string name() const override { return "fastlz"; }
+  [[nodiscard]] std::size_t max_compressed_size(std::size_t n) const override {
+    return lz77_max_compressed_size(n);
+  }
+  std::size_t compress(common::ByteSpan src,
+                       common::MutableByteSpan dst) const override;
+  std::size_t decompress(common::ByteSpan src,
+                         common::MutableByteSpan dst) const override;
+  using Codec::compress;
+  using Codec::decompress;
+};
+
+/// Level 2, MEDIUM: hash chains + lazy matching, QuickLZ-ratio analogue —
+/// better ratio, a few times slower.
+class MediumLz final : public Codec {
+ public:
+  [[nodiscard]] std::uint8_t id() const override { return kCodecMediumLz; }
+  [[nodiscard]] std::string name() const override { return "mediumlz"; }
+  [[nodiscard]] std::size_t max_compressed_size(std::size_t n) const override {
+    return lz77_max_compressed_size(n);
+  }
+  std::size_t compress(common::ByteSpan src,
+                       common::MutableByteSpan dst) const override;
+  std::size_t decompress(common::ByteSpan src,
+                         common::MutableByteSpan dst) const override;
+  using Codec::compress;
+  using Codec::decompress;
+};
+
+}  // namespace strato::compress

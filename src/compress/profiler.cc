@@ -1,0 +1,48 @@
+#include "compress/profiler.h"
+
+#include <chrono>
+
+namespace strato::compress {
+
+CodecProfile profile_codec(const Codec& codec, corpus::Generator& gen,
+                           std::size_t total_bytes, std::size_t block_size) {
+  using clock = std::chrono::steady_clock;
+  CodecProfile profile;
+  if (total_bytes == 0 || block_size == 0) return profile;
+
+  common::Bytes raw(block_size);
+  common::Bytes comp(codec.max_compressed_size(block_size));
+  common::Bytes back(block_size);
+
+  std::size_t processed = 0;
+  std::size_t comp_total = 0;
+  double comp_seconds = 0.0;
+  double decomp_seconds = 0.0;
+
+  while (processed < total_bytes) {
+    const std::size_t n = std::min(block_size, total_bytes - processed);
+    gen.generate(common::MutableByteSpan(raw).subspan(0, n));
+
+    const auto c0 = clock::now();
+    const std::size_t c =
+        codec.compress(common::ByteSpan(raw.data(), n), comp);
+    const auto c1 = clock::now();
+    codec.decompress(common::ByteSpan(comp.data(), c),
+                     common::MutableByteSpan(back).subspan(0, n));
+    const auto c2 = clock::now();
+
+    comp_seconds += std::chrono::duration<double>(c1 - c0).count();
+    decomp_seconds += std::chrono::duration<double>(c2 - c1).count();
+    comp_total += c;
+    processed += n;
+  }
+
+  const double mb = static_cast<double>(processed) / 1e6;
+  profile.compress_mb_s = comp_seconds > 0 ? mb / comp_seconds : 1e9;
+  profile.decompress_mb_s = decomp_seconds > 0 ? mb / decomp_seconds : 1e9;
+  profile.ratio =
+      static_cast<double>(comp_total) / static_cast<double>(processed);
+  return profile;
+}
+
+}  // namespace strato::compress

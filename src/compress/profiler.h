@@ -1,0 +1,30 @@
+// Codec profiling — the calibration bridge between the real codecs and the
+// discrete-event simulator.
+//
+// The simulator (src/vsim) models compression as a (speed, ratio) pair per
+// (level, corpus). Rather than invent numbers, the benches measure the
+// actual codecs built in this repository over the actual synthetic corpora
+// and feed those measurements into the simulation (DESIGN.md §5.2).
+#pragma once
+
+#include <cstddef>
+
+#include "compress/codec.h"
+#include "corpus/generator.h"
+
+namespace strato::compress {
+
+/// Measured behaviour of one codec on one data class.
+struct CodecProfile {
+  double compress_mb_s = 0.0;    ///< raw MB consumed per second compressing
+  double decompress_mb_s = 0.0;  ///< raw MB produced per second decompressing
+  double ratio = 1.0;            ///< compressed size / raw size, in (0, 1+]
+};
+
+/// Run `codec` over `total_bytes` of `gen` output in `block_size` blocks
+/// and report wall-clock throughput and mean ratio.
+CodecProfile profile_codec(const Codec& codec, corpus::Generator& gen,
+                           std::size_t total_bytes,
+                           std::size_t block_size = 128 * 1024);
+
+}  // namespace strato::compress

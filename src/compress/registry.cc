@@ -1,0 +1,53 @@
+#include "compress/registry.h"
+
+#include "compress/deflate_lz.h"
+#include "compress/heavy_lz.h"
+#include "compress/lz77.h"
+
+namespace strato::compress {
+
+void CodecRegistry::add_level(std::string label,
+                              std::unique_ptr<Codec> codec) {
+  CompressionLevel lvl;
+  lvl.level = static_cast<int>(levels_.size());
+  lvl.label = std::move(label);
+  lvl.codec = codec.get();
+  levels_.push_back(std::move(lvl));
+  owned_.push_back(std::move(codec));
+}
+
+const Codec& CodecRegistry::codec_by_id(std::uint8_t id) const {
+  static const NullCodec null_codec;
+  if (id == kCodecNull) return null_codec;
+  for (const auto& c : owned_) {
+    if (c->id() == id) return *c;
+  }
+  throw CodecError("unknown codec id " + std::to_string(id));
+}
+
+const CodecRegistry& CodecRegistry::standard() {
+  static const CodecRegistry* registry = [] {
+    auto* r = new CodecRegistry();
+    r->add_level("NO", std::make_unique<NullCodec>());
+    r->add_level("LIGHT", std::make_unique<FastLz>());
+    r->add_level("MEDIUM", std::make_unique<MediumLz>());
+    r->add_level("HEAVY", std::make_unique<HeavyLz>());
+    return r;
+  }();
+  return *registry;
+}
+
+const CodecRegistry& CodecRegistry::extended() {
+  static const CodecRegistry* registry = [] {
+    auto* r = new CodecRegistry();
+    r->add_level("NO", std::make_unique<NullCodec>());
+    r->add_level("LIGHT", std::make_unique<FastLz>());
+    r->add_level("MEDIUM", std::make_unique<MediumLz>());
+    r->add_level("DEFLATE", std::make_unique<DeflateLz>());
+    r->add_level("HEAVY", std::make_unique<HeavyLz>());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace strato::compress

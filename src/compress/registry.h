@@ -1,0 +1,58 @@
+// Ordered compression-level registry.
+//
+// The paper (Section III): "we assume that our adaptive compression
+// algorithm can choose between a fixed set of n compression levels ...
+// ordered by their respective time/compression ratio. Compression level 0
+// stands for no compression." The default registry reproduces the paper's
+// four levels: NO, LIGHT (QuickLZ-fast analogue), MEDIUM (QuickLZ-ratio
+// analogue), HEAVY (LZMA analogue).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace strato::compress {
+
+/// One rung of the ladder.
+struct CompressionLevel {
+  int level = 0;
+  std::string label;            // "NO", "LIGHT", ...
+  const Codec* codec = nullptr; // owned by the registry
+};
+
+/// Holds the ordered set of levels and resolves codec ids from frames.
+class CodecRegistry {
+ public:
+  CodecRegistry() = default;
+
+  /// Append a level (must be registered in increasing time/ratio order).
+  void add_level(std::string label, std::unique_ptr<Codec> codec);
+
+  [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+  [[nodiscard]] const CompressionLevel& level(std::size_t i) const {
+    return levels_.at(i);
+  }
+
+  /// Codec for a frame's codec id (any registered codec, plus NullCodec
+  /// id 0 which is always resolvable). @throws CodecError if unknown.
+  [[nodiscard]] const Codec& codec_by_id(std::uint8_t id) const;
+
+  /// The paper's ladder: NO / LIGHT(FastLz) / MEDIUM(MediumLz) /
+  /// HEAVY(HeavyLz).
+  static const CodecRegistry& standard();
+
+  /// A five-rung ladder inserting DEFLATE (DeflateLz) between MEDIUM and
+  /// HEAVY — Algorithm 1 is agnostic to the number of levels; the
+  /// ladder-generality experiments use this.
+  static const CodecRegistry& extended();
+
+ private:
+  std::vector<CompressionLevel> levels_;
+  std::vector<std::unique_ptr<Codec>> owned_;
+};
+
+}  // namespace strato::compress

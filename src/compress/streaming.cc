@@ -1,0 +1,49 @@
+#include "compress/streaming.h"
+
+#include <algorithm>
+
+namespace strato::compress {
+
+namespace {
+
+/// Keep only the trailing `window` bytes of `history` after appending
+/// `added`.
+void roll(common::Bytes& history, common::ByteSpan added,
+          std::size_t window) {
+  history.insert(history.end(), added.begin(), added.end());
+  if (history.size() > window) {
+    history.erase(history.begin(),
+                  history.begin() +
+                      static_cast<std::ptrdiff_t>(history.size() - window));
+  }
+}
+
+}  // namespace
+
+common::Bytes StreamingLzCompressor::compress_block(common::ByteSpan raw) {
+  // Contiguous work buffer: retained window followed by the new block.
+  common::Bytes buffer;
+  buffer.reserve(history_.size() + raw.size());
+  buffer.insert(buffer.end(), history_.begin(), history_.end());
+  buffer.insert(buffer.end(), raw.begin(), raw.end());
+
+  common::Bytes out(lz77_max_compressed_size(raw.size()));
+  out.resize(
+      lz77_compress_with_history(buffer, history_.size(), out, params_));
+  roll(history_, raw, window_);
+  return out;
+}
+
+common::Bytes StreamingLzDecompressor::decompress_block(
+    common::ByteSpan comp, std::size_t raw_size) {
+  common::Bytes buffer(history_.size() + raw_size);
+  std::copy(history_.begin(), history_.end(), buffer.begin());
+  lz77_decompress_with_history(comp, buffer, history_.size(), raw_size);
+  common::Bytes raw(buffer.begin() +
+                        static_cast<std::ptrdiff_t>(history_.size()),
+                    buffer.end());
+  roll(history_, raw, window_);
+  return raw;
+}
+
+}  // namespace strato::compress

@@ -1,0 +1,76 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace strato::core {
+
+MetricDrivenPolicy::MetricDrivenPolicy(std::vector<TrainedLevelModel> trained,
+                                       const SystemMetricsProvider& metrics,
+                                       common::SimTime period)
+    : trained_(std::move(trained)), metrics_(metrics), period_(period) {}
+
+void MetricDrivenPolicy::on_block(std::size_t, common::SimTime now) {
+  if (!started_) {
+    started_ = true;
+    next_decision_ = now + period_;
+    decide();
+    return;
+  }
+  if (now >= next_decision_) {
+    next_decision_ = now + period_;
+    decide();
+  }
+}
+
+void MetricDrivenPolicy::decide() {
+  const double idle = std::clamp(metrics_.displayed_cpu_idle(), 0.01, 1.0);
+  const double bw =
+      std::max(metrics_.displayed_bandwidth(), 1.0);  // bytes/s
+  double best_cost = std::numeric_limits<double>::infinity();
+  int best_level = 0;
+  for (std::size_t l = 0; l < trained_.size(); ++l) {
+    const auto& m = trained_[l];
+    // Seconds to move one raw byte through a pipelined compress+send
+    // stage, believing the displayed metrics.
+    const double compress_s =
+        m.compress_bytes_s > 0 ? 1.0 / (m.compress_bytes_s * idle) : 0.0;
+    const double transmit_s = m.ratio / bw;
+    const double cost = std::max(compress_s, transmit_s);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_level = static_cast<int>(l);
+    }
+  }
+  level_ = best_level;
+}
+
+QueuePolicy::QueuePolicy(std::function<double()> fill_probe, int num_levels,
+                         common::SimTime period, double deadband)
+    : fill_probe_(std::move(fill_probe)),
+      num_levels_(std::max(1, num_levels)),
+      period_(period),
+      deadband_(deadband) {}
+
+void QueuePolicy::on_block(std::size_t, common::SimTime now) {
+  if (!started_) {
+    started_ = true;
+    next_decision_ = now + period_;
+    last_fill_ = fill_probe_();
+    return;
+  }
+  if (now < next_decision_) return;
+  next_decision_ = now + period_;
+  const double fill = fill_probe_();
+  // Growing queue: the sender drains slower than we compress -> the
+  // network is the bottleneck -> spend more CPU on compression. Draining
+  // queue: compression is the bottleneck -> back off.
+  if (fill > last_fill_ + deadband_) {
+    level_ = std::min(level_ + 1, num_levels_ - 1);
+  } else if (fill < last_fill_ - deadband_) {
+    level_ = std::max(level_ - 1, 0);
+  }
+  last_fill_ = fill;
+}
+
+}  // namespace strato::core

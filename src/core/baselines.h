@@ -1,0 +1,93 @@
+// Related-work baseline decision models (Section V).
+//
+// Two families the paper contrasts against:
+//
+//  * Metric-driven (Krintz & Sucu's ACE, NCTCSys, Wiseman et al.): use an
+//    offline-trained table of per-level compression speed/ratio plus the
+//    *displayed* CPU idle time and bandwidth estimate to pick the level
+//    with the smallest predicted transfer time. Inside a VM the displayed
+//    metrics are skewed (Section II), which is exactly how this model
+//    goes wrong — reproduced in bench_ablation_models.
+//
+//  * Queue-occupancy (Jeannot, Knutsson & Björkman): compression and
+//    sending are decoupled by a FIFO; a growing queue means the network is
+//    the bottleneck (raise the level), a draining queue means compression
+//    is (lower it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace strato::core {
+
+/// What the guest OS *displays* — possibly wildly wrong in a VM.
+class SystemMetricsProvider {
+ public:
+  virtual ~SystemMetricsProvider() = default;
+  /// Displayed idle CPU fraction in [0, 1].
+  [[nodiscard]] virtual double displayed_cpu_idle() const = 0;
+  /// Displayed available I/O bandwidth estimate in bytes/second.
+  [[nodiscard]] virtual double displayed_bandwidth() const = 0;
+};
+
+/// Offline-training data: per level, raw-compression speed and ratio.
+struct TrainedLevelModel {
+  double compress_bytes_s = 0.0;  ///< raw bytes/s on an *unloaded* machine
+  double ratio = 1.0;             ///< compressed/raw
+};
+
+/// Metric-driven baseline: argmin over levels of predicted seconds per raw
+/// byte, max(compress_time, transmit_time) assuming a pipelined sender:
+///   compress = 1 / (speed * displayed_idle)
+///   transmit = ratio / displayed_bandwidth
+class MetricDrivenPolicy final : public CompressionPolicy {
+ public:
+  MetricDrivenPolicy(std::vector<TrainedLevelModel> trained,
+                     const SystemMetricsProvider& metrics,
+                     common::SimTime period);
+
+  [[nodiscard]] int level() const override { return level_; }
+  void on_block(std::size_t raw_bytes, common::SimTime now) override;
+  [[nodiscard]] std::string name() const override { return "METRIC"; }
+
+ private:
+  void decide();
+
+  std::vector<TrainedLevelModel> trained_;
+  const SystemMetricsProvider& metrics_;
+  common::SimTime period_;
+  common::SimTime next_decision_;
+  bool started_ = false;
+  int level_ = 0;
+};
+
+/// Queue-occupancy baseline: watch a FIFO fill probe; rising occupancy
+/// raises the level, falling occupancy lowers it.
+class QueuePolicy final : public CompressionPolicy {
+ public:
+  /// @param fill_probe returns queue occupancy in [0, 1]
+  /// @param num_levels ladder size
+  /// @param period     reevaluation interval
+  /// @param deadband   occupancy delta ignored as noise
+  QueuePolicy(std::function<double()> fill_probe, int num_levels,
+              common::SimTime period, double deadband = 0.05);
+
+  [[nodiscard]] int level() const override { return level_; }
+  void on_block(std::size_t raw_bytes, common::SimTime now) override;
+  [[nodiscard]] std::string name() const override { return "QUEUE"; }
+
+ private:
+  std::function<double()> fill_probe_;
+  int num_levels_;
+  common::SimTime period_;
+  common::SimTime next_decision_;
+  bool started_ = false;
+  double deadband_;
+  double last_fill_ = -1.0;
+  int level_ = 0;
+};
+
+}  // namespace strato::core

@@ -1,0 +1,84 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strato::core {
+
+AdaptiveController::AdaptiveController(AdaptiveConfig config)
+    : config_(config) {
+  if (config_.num_levels < 1) config_.num_levels = 1;
+  reset();
+}
+
+void AdaptiveController::reset() {
+  ccl_ = 0;
+  c_ = 0;
+  inc_ = true;
+  bck_.assign(static_cast<std::size_t>(config_.num_levels), 0);
+  pdr_ = -1.0;
+}
+
+int AdaptiveController::clamp_probe(int ncl) const {
+  // The paper leaves boundary behaviour implicit; we flip the probe
+  // direction at the ends of the ladder so probing never stalls (DESIGN.md
+  // §5.3). With a single level there is nowhere to go.
+  if (config_.num_levels == 1) return 0;
+  if (ncl < 0) return 1;
+  if (ncl >= config_.num_levels) return config_.num_levels - 2;
+  return ncl;
+}
+
+Decision AdaptiveController::on_window(double cdr) {
+  // "On the first call of the decision algorithm, pdr is set to cdr."
+  if (pdr_ < 0.0) pdr_ = cdr;
+
+  const double d = cdr - pdr_;       // line 1
+  c_ += 1;                           // line 2
+  int ncl = ccl_;                    // line 3
+  Decision dec;
+
+  if (std::fabs(d) <= config_.alpha * pdr_) {
+    // Lines 4-14: no (significant) change in application data rate.
+    const std::int64_t threshold =
+        config_.backoff_enabled
+            ? (std::int64_t{1} << std::min(bck_[static_cast<std::size_t>(ccl_)],
+                                           config_.max_backoff_exponent))
+            : 1;
+    if (c_ >= threshold) {
+      // Backoff over: optimistically try the neighbouring level.
+      ncl = clamp_probe(inc_ ? ccl_ + 1 : ccl_ - 1);
+      c_ = 0;
+      dec.probed = ncl != ccl_;
+    }
+  } else if (d > 0) {
+    // Lines 15-18: the application data rate improved. Reward the current
+    // level with a longer backoff; stay.
+    if (config_.backoff_enabled) {
+      auto& b = bck_[static_cast<std::size_t>(ccl_)];
+      b = std::min(b + 1, config_.max_backoff_exponent);
+    }
+    c_ = 0;
+  } else {
+    // Lines 19-27: degradation. Reset this level's backoff and revert the
+    // last change immediately.
+    bck_[static_cast<std::size_t>(ccl_)] = 0;
+    ncl = std::clamp(inc_ ? ccl_ - 1 : ccl_ + 1, 0, config_.num_levels - 1);
+    c_ = 0;
+    dec.reverted = ncl != ccl_;
+  }
+
+  // "inc is usually updated outside of the displayed algorithm depending
+  // on the input parameter ccl and the return value ncl."
+  if (ncl > ccl_) {
+    inc_ = true;
+  } else if (ncl < ccl_) {
+    inc_ = false;
+  }
+  pdr_ = cdr;
+  ccl_ = ncl;
+  dec.level = ncl;
+  return dec;
+}
+
+}  // namespace strato::core

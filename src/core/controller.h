@@ -1,0 +1,88 @@
+// Algorithm 1 — the paper's rate-based adaptive compression controller.
+//
+// GetNextCompressionLevel(cdr, pdr, ccl) from Section III-A, with the
+// surrounding state the paper keeps "outside of the displayed algorithm"
+// (Table I): the call counter c, the per-level exponential backoff array
+// bck, the probe direction inc, and the previous-window rate pdr.
+//
+// Design goals encoded here (Section III):
+//   * no training phase — all state starts neutral;
+//   * no reliance on CPU / bandwidth metrics — the only input is the
+//     application data rate cdr measured over the last t seconds;
+//   * tolerance of throughput fluctuation via the dead band alpha and the
+//     MB-granularity windows.
+//
+// Behaviour summary per decision window:
+//   |cdr - pdr| <= alpha*pdr  : unchanged rate. Once the backoff expires
+//                               (c >= 2^bck[ccl]) probe the neighbouring
+//                               level in the direction of the last change.
+//   cdr > pdr (+alpha band)   : improvement. Reward the current level:
+//                               bck[ccl] += 1 (probes grow exponentially
+//                               rarer), stay.
+//   cdr < pdr (-alpha band)   : degradation. Reset bck[ccl] and revert the
+//                               last change immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strato::core {
+
+/// Tunables of Algorithm 1.
+struct AdaptiveConfig {
+  /// Number of compression levels n (level 0 = no compression).
+  int num_levels = 4;
+  /// Dead band: relative change in application data rate tolerated before
+  /// the algorithm reacts. The paper found 0.2 reasonable.
+  double alpha = 0.2;
+  /// Disable the exponential backoff (probe every window) — ablation knob;
+  /// the paper's scheme always has it on.
+  bool backoff_enabled = true;
+  /// Cap on bck[] exponents to keep 2^bck in range. Large enough that it
+  /// is never hit in realistic runs (2^30 windows of 2 s = 68 years).
+  int max_backoff_exponent = 30;
+};
+
+/// Decision record returned by each controller step (for tracing).
+struct Decision {
+  int level = 0;        ///< ncl: level for the next window
+  bool probed = false;  ///< this step was an optimistic probe
+  bool reverted = false;///< this step reverted a degradation
+};
+
+/// The adaptive controller. Call on_window() once per decision interval t
+/// with the application data rate observed during that interval.
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(AdaptiveConfig config = {});
+
+  /// Feed the application data rate (bytes/second or any consistent unit)
+  /// of the window that just closed; returns the level to apply next.
+  Decision on_window(double cdr);
+
+  /// Current compression level (ccl).
+  [[nodiscard]] int level() const { return ccl_; }
+  /// Probe direction: true if the last level change was an increase.
+  [[nodiscard]] bool increasing() const { return inc_; }
+  /// Backoff exponent of a level (bck[level]).
+  [[nodiscard]] int backoff(int level) const { return bck_.at(level); }
+  /// Windows since the last level change (c).
+  [[nodiscard]] std::int64_t window_count() const { return c_; }
+  [[nodiscard]] const AdaptiveConfig& config() const { return config_; }
+
+  /// Reset to the initial state (level 0, all backoffs 0, inc = true).
+  void reset();
+
+ private:
+  [[nodiscard]] int clamp_probe(int ncl) const;
+
+  AdaptiveConfig config_;
+  int ccl_ = 0;
+  std::int64_t c_ = 0;
+  bool inc_ = true;
+  std::vector<int> bck_;
+  double pdr_ = -1.0;  // <0 = no window seen yet
+};
+
+}  // namespace strato::core

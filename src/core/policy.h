@@ -1,0 +1,93 @@
+// Compression policies.
+//
+// A CompressionPolicy decides which level each outgoing block is
+// compressed with. The channels (real transport and simulator alike) call
+// level() before encoding a block and on_block() after the block has been
+// accepted downstream, with the current time. The paper's evaluation
+// compares four static policies (NO/LIGHT/MEDIUM/HEAVY) against the
+// adaptive one (DYNAMIC); related-work baselines live in baselines.h.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/sim_time.h"
+#include "core/controller.h"
+#include "core/rate_meter.h"
+
+namespace strato::core {
+
+/// Strategy interface: which compression level to use next.
+class CompressionPolicy {
+ public:
+  virtual ~CompressionPolicy() = default;
+
+  /// Level to apply to the next block.
+  [[nodiscard]] virtual int level() const = 0;
+
+  /// Notify: `raw_bytes` of application data were accepted by the channel
+  /// at time `now` (i.e. handed to compression + the I/O layer).
+  virtual void on_block(std::size_t raw_bytes, common::SimTime now) = 0;
+
+  /// Display name ("DYNAMIC", "LIGHT", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fixed level chosen before execution — the paper's static baselines.
+class StaticPolicy final : public CompressionPolicy {
+ public:
+  StaticPolicy(int level, std::string name)
+      : level_(level), name_(std::move(name)) {}
+
+  [[nodiscard]] int level() const override { return level_; }
+  void on_block(std::size_t, common::SimTime) override {}
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  int level_;
+  std::string name_;
+};
+
+/// The paper's scheme (DYNAMIC): RateMeter feeding Algorithm 1 every t
+/// seconds.
+class AdaptivePolicy final : public CompressionPolicy {
+ public:
+  /// Trace hook fired on every closed decision window.
+  using TraceFn =
+      std::function<void(common::SimTime now, double cdr, const Decision&)>;
+
+  /// @param config  Algorithm 1 tunables (alpha, levels, backoff)
+  /// @param window  decision interval t (paper: 2 s)
+  AdaptivePolicy(AdaptiveConfig config, common::SimTime window)
+      : controller_(config), meter_(window) {}
+
+  [[nodiscard]] int level() const override { return level_; }
+
+  void on_block(std::size_t raw_bytes, common::SimTime now) override {
+    meter_.on_bytes(raw_bytes, now);
+    if (const auto rate = meter_.poll(now)) {
+      const Decision dec = controller_.on_window(*rate);
+      level_ = dec.level;
+      if (trace_) trace_(now, *rate, dec);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "DYNAMIC"; }
+
+  /// Observe decisions (used by the timeline benches).
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  [[nodiscard]] const AdaptiveController& controller() const {
+    return controller_;
+  }
+  [[nodiscard]] const RateMeter& meter() const { return meter_; }
+
+ private:
+  AdaptiveController controller_;
+  RateMeter meter_;
+  int level_ = 0;
+  TraceFn trace_;
+};
+
+}  // namespace strato::core

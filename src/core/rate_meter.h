@@ -1,0 +1,67 @@
+// Application data rate measurement.
+//
+// The decision model's only input: "the data rate experienced by the
+// application before compressing the data" (Section III). The meter
+// accumulates the raw bytes the application managed to hand to the
+// compression module and closes a window every t seconds, yielding cdr.
+// It runs on the injected Clock so the same code serves the wall-clock
+// transport and the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/sim_time.h"
+
+namespace strato::core {
+
+/// Windowed byte-rate meter.
+class RateMeter {
+ public:
+  /// @param window the decision interval t (paper default: 2 s).
+  explicit RateMeter(common::SimTime window) : window_(window) {}
+
+  /// Record `n` raw application bytes accepted at time `now`. Starts the
+  /// first window at the first call.
+  void on_bytes(std::uint64_t n, common::SimTime now) {
+    if (!started_) {
+      started_ = true;
+      window_start_ = now;
+    }
+    in_window_ += n;
+    total_ += n;
+  }
+
+  /// Close the window if >= t has elapsed; returns the application data
+  /// rate (bytes/second) over the actual elapsed span, or nullopt.
+  std::optional<double> poll(common::SimTime now) {
+    if (!started_) return std::nullopt;
+    const common::SimTime elapsed = now - window_start_;
+    if (elapsed < window_) return std::nullopt;
+    const double rate =
+        static_cast<double>(in_window_) / elapsed.to_seconds();
+    window_start_ = now;
+    in_window_ = 0;
+    return rate;
+  }
+
+  [[nodiscard]] common::SimTime window() const { return window_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_; }
+  [[nodiscard]] std::uint64_t bytes_in_window() const { return in_window_; }
+
+  /// Restart measurement.
+  void reset() {
+    started_ = false;
+    in_window_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  common::SimTime window_;
+  common::SimTime window_start_;
+  bool started_ = false;
+  std::uint64_t in_window_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace strato::core

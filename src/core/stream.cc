@@ -1,0 +1,54 @@
+#include "core/stream.h"
+
+#include <cstring>
+
+namespace strato::core {
+
+CompressingWriter::CompressingWriter(ByteSink& sink,
+                                     const compress::CodecRegistry& registry,
+                                     CompressionPolicy& policy,
+                                     const common::Clock& clock,
+                                     std::size_t block_size)
+    : sink_(sink),
+      registry_(registry),
+      policy_(policy),
+      clock_(clock),
+      block_size_(block_size == 0 ? compress::kDefaultBlockSize : block_size),
+      buffer_(block_size_),
+      blocks_per_level_(registry.level_count(), 0) {}
+
+void CompressingWriter::write(common::ByteSpan data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n =
+        std::min(data.size() - off, block_size_ - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data() + off, n);
+    buffered_ += n;
+    off += n;
+    if (buffered_ == block_size_) emit_block();
+  }
+}
+
+void CompressingWriter::flush() {
+  if (buffered_ > 0) emit_block();
+  sink_.flush();
+}
+
+void CompressingWriter::emit_block() {
+  const int max_level = static_cast<int>(registry_.level_count()) - 1;
+  const int level = std::clamp(policy_.level(), 0, max_level);
+  const auto& rung = registry_.level(static_cast<std::size_t>(level));
+  const common::ByteSpan payload(buffer_.data(), buffered_);
+  const common::Bytes frame = compress::encode_block(
+      *rung.codec, static_cast<std::uint8_t>(level), payload);
+  sink_.write(frame);
+  // The sink write may have blocked (backpressure); sample time after it
+  // returns so the policy sees the achievable application data rate.
+  raw_bytes_ += buffered_;
+  framed_bytes_ += frame.size();
+  ++blocks_per_level_[static_cast<std::size_t>(level)];
+  policy_.on_block(buffered_, clock_.now());
+  buffered_ = 0;
+}
+
+}  // namespace strato::core

@@ -1,0 +1,113 @@
+// Compressing / decompressing byte streams.
+//
+// The adaptive compression module "is placed between the application and
+// the respective I/O layer" (Section III-A): the application writes raw
+// bytes, the module buffers them into blocks of at most 128 KB, compresses
+// each block at the policy's current level and forwards the framed block
+// to the sink. Decompression is transparent on the receiving side.
+//
+// These classes run in real time over any ByteSink (throttled pipe, TCP
+// socket wrapper, file). The discrete-event simulator models the same
+// pipeline analytically but drives the identical policy objects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/sim_time.h"
+#include "compress/framing.h"
+#include "compress/registry.h"
+#include "core/policy.h"
+
+namespace strato::core {
+
+/// Destination for framed bytes (pipe, socket, file, ...). write() may
+/// block — that backpressure is precisely what the application data rate
+/// measures.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void write(common::ByteSpan data) = 0;
+  virtual void flush() {}
+};
+
+/// Application-facing compressing writer.
+class CompressingWriter {
+ public:
+  /// @param sink        downstream I/O layer
+  /// @param registry    ordered compression levels
+  /// @param policy      level selection strategy (static / adaptive / ...)
+  /// @param clock       time source for the policy (wall or simulated)
+  /// @param block_size  channel block size (paper: 128 KB)
+  CompressingWriter(ByteSink& sink, const compress::CodecRegistry& registry,
+                    CompressionPolicy& policy, const common::Clock& clock,
+                    std::size_t block_size = compress::kDefaultBlockSize);
+
+  /// Accept application data; emits framed blocks as they fill.
+  void write(common::ByteSpan data);
+
+  /// Emit any buffered partial block and flush the sink.
+  void flush();
+
+  /// Raw application bytes accepted so far.
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+  /// Framed (compressed + header) bytes emitted so far.
+  [[nodiscard]] std::uint64_t framed_bytes() const { return framed_bytes_; }
+  /// Blocks emitted per level (index = level).
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks_per_level() const {
+    return blocks_per_level_;
+  }
+
+ private:
+  void emit_block();
+
+  ByteSink& sink_;
+  const compress::CodecRegistry& registry_;
+  CompressionPolicy& policy_;
+  const common::Clock& clock_;
+  std::size_t block_size_;
+  common::Bytes buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t framed_bytes_ = 0;
+  std::vector<std::uint64_t> blocks_per_level_;
+};
+
+/// Receiving side: feed framed bytes, pop decompressed blocks.
+class DecompressingReader {
+ public:
+  explicit DecompressingReader(const compress::CodecRegistry& registry)
+      : assembler_(registry) {}
+
+  /// Append bytes received from the I/O layer.
+  void feed(common::ByteSpan data) { assembler_.feed(data); }
+
+  /// Next decoded block, or nullopt if more input is needed.
+  std::optional<common::Bytes> next_block() {
+    auto block = assembler_.next_block();
+    if (block) {
+      raw_bytes_ += block->size();
+      const auto lvl = assembler_.last_header().level;
+      if (lvl >= blocks_per_level_.size()) {
+        blocks_per_level_.resize(lvl + 1, 0);
+      }
+      ++blocks_per_level_[lvl];
+    }
+    return block;
+  }
+
+  /// Raw bytes decoded so far.
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+  /// Blocks received per frame level.
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks_per_level() const {
+    return blocks_per_level_;
+  }
+
+ private:
+  compress::FrameAssembler assembler_;
+  std::uint64_t raw_bytes_ = 0;
+  std::vector<std::uint64_t> blocks_per_level_;
+};
+
+}  // namespace strato::core

@@ -1,0 +1,72 @@
+// Real TCP transport.
+//
+// The paper's network channels are TCP connections; the in-process
+// ThrottledPipe stands in for them in unit tests, but the library also
+// works over actual sockets. Minimal blocking RAII wrappers: a listener,
+// a connection usable as ByteSink (sender side) and chunk reader
+// (receiver side). Loopback integration tests drive the full adaptive
+// pipeline over a genuine kernel TCP stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "core/stream.h"
+
+namespace strato::core {
+
+/// Connected TCP stream (blocking I/O). Movable, closes on destruction.
+class TcpConnection final : public ByteSink {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override;
+
+  TcpConnection(TcpConnection&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  TcpConnection& operator=(TcpConnection&& o) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connect to host:port. @throws std::runtime_error on failure.
+  static TcpConnection connect(const std::string& host, std::uint16_t port);
+
+  /// ByteSink: write all bytes (loops over partial writes).
+  /// @throws std::runtime_error on a broken connection.
+  void write(common::ByteSpan data) override;
+
+  /// Read up to `max_bytes`; empty result = orderly EOF.
+  /// @throws std::runtime_error on socket errors.
+  common::Bytes read(std::size_t max_bytes);
+
+  /// Half-close the sending direction (receiver sees EOF after draining).
+  void shutdown_send();
+
+  void close();
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 on an ephemeral (or given) port.
+class TcpListener {
+ public:
+  /// @param port 0 = pick an ephemeral port (see port()).
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accept one connection (blocking).
+  TcpConnection accept();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace strato::core

@@ -1,0 +1,82 @@
+// Rate-limited in-process byte pipe.
+//
+// The real-time stand-in for the paper's 1 GBit/s shared link: a blocking
+// bounded byte queue whose drain rate is governed by a token bucket.
+// Multiple pipes can share one LinkShare so concurrent "TCP connections"
+// contend for the same bandwidth — the shared-I/O effect the paper
+// studies, reproduced in-process for examples and integration tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/sim_time.h"
+#include "common/token_bucket.h"
+#include "core/stream.h"
+
+namespace strato::core {
+
+/// Bandwidth shared by several pipes (one "physical NIC").
+class LinkShare {
+ public:
+  /// @param bytes_per_second total link capacity
+  explicit LinkShare(double bytes_per_second)
+      : bucket_(bytes_per_second, bytes_per_second / 20.0) {}
+
+  /// Block the calling thread until `n` bytes of link capacity have been
+  /// granted. Fair in arrival order across pipes.
+  void acquire(std::uint64_t n);
+
+  /// Change the link capacity mid-run (congestion appearing/clearing).
+  void set_rate(double bytes_per_second) {
+    std::lock_guard lk(mu_);
+    bucket_.set_rate(bytes_per_second);
+  }
+
+  [[nodiscard]] double rate() const { return bucket_.rate(); }
+
+ private:
+  std::mutex mu_;
+  common::TokenBucket bucket_;
+  common::SteadyClock clock_;
+};
+
+/// Blocking byte pipe throttled through a LinkShare. The writer side
+/// implements ByteSink (plug a CompressingWriter on top); the reader side
+/// hands out chunks as they "arrive".
+class ThrottledPipe final : public ByteSink {
+ public:
+  /// @param link      shared bandwidth governor
+  /// @param capacity  in-flight buffer bound (models the socket buffer)
+  ThrottledPipe(std::shared_ptr<LinkShare> link,
+                std::size_t capacity = 256 * 1024);
+
+  /// Writer side: blocks for link capacity and buffer space.
+  void write(common::ByteSpan data) override;
+  void flush() override {}
+
+  /// Writer signals end-of-stream.
+  void close();
+
+  /// Reader side: pop up to `max_bytes`; empty result means EOF.
+  common::Bytes read(std::size_t max_bytes);
+
+  /// Bytes moved through the pipe so far.
+  [[nodiscard]] std::uint64_t transferred() const;
+
+ private:
+  std::shared_ptr<LinkShare> link_;
+  mutable std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<std::uint8_t> buf_;
+  std::size_t capacity_;
+  std::uint64_t transferred_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace strato::core

@@ -1,0 +1,23 @@
+// Compressibility probes.
+//
+// A cheap Shannon byte-entropy estimate plus a tiny LZ probe. Not used by
+// the paper's decision model (which deliberately avoids data inspection),
+// but used by tests to validate the corpus generators and by the
+// metric-driven baseline policy from related work.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace strato::corpus {
+
+/// Shannon entropy of the byte distribution, in bits per byte (0..8).
+double shannon_entropy(common::ByteSpan data);
+
+/// Fraction of positions whose 4-byte group reoccurs earlier within a
+/// 64 KiB window — a fast proxy for LZ-compressibility in [0,1]
+/// (1 = highly repetitive).
+double lz_repetitiveness(common::ByteSpan data);
+
+}  // namespace strato::corpus

@@ -1,0 +1,117 @@
+#include "dataflow/executor.h"
+
+#include <chrono>
+#include <map>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace strato::dataflow {
+
+JobStats Executor::execute(const JobGraph& job) {
+  JobStats stats;
+  if (!job.is_dag()) {
+    stats.error = "job graph has a cycle";
+    return stats;
+  }
+
+  const bool placed = !config_.placement.empty();
+  if (placed && config_.placement.size() != job.num_vertices()) {
+    stats.error = "placement size does not match vertex count";
+    return stats;
+  }
+
+  // Without placement: one LinkShare for every network channel (the
+  // shared NIC). With placement: one egress NIC per source host, created
+  // lazily; co-located edges are loopback (unthrottled).
+  std::shared_ptr<core::LinkShare> global_link;
+  if (!placed && config_.shared_link_bytes_s > 0) {
+    global_link =
+        std::make_shared<core::LinkShare>(config_.shared_link_bytes_s);
+  }
+  std::map<int, std::shared_ptr<core::LinkShare>> egress;
+  const auto link_for = [&](const EdgeSpec& spec)
+      -> std::shared_ptr<core::LinkShare> {
+    if (!placed) return global_link;
+    if (config_.shared_link_bytes_s <= 0) return nullptr;
+    const int src_host = config_.placement[static_cast<std::size_t>(spec.src)];
+    const int dst_host = config_.placement[static_cast<std::size_t>(spec.dst)];
+    if (src_host == dst_host) return nullptr;  // loopback
+    auto& link = egress[src_host];
+    if (!link) {
+      link = std::make_shared<core::LinkShare>(config_.shared_link_bytes_s);
+    }
+    return link;
+  };
+
+  // Build channels in edge order.
+  std::vector<std::unique_ptr<Channel>> channels;
+  channels.reserve(job.num_edges());
+  int file_seq = 0;
+  for (std::size_t e = 0; e < job.num_edges(); ++e) {
+    const EdgeSpec& spec = job.edge(e);
+    switch (spec.type) {
+      case ChannelType::kInMemory:
+        channels.push_back(make_inmemory_channel());
+        break;
+      case ChannelType::kNetwork:
+        channels.push_back(make_network_channel(link_for(spec),
+                                                spec.compression));
+        break;
+      case ChannelType::kFile: {
+        std::string path = spec.file_path;
+        if (path.empty()) {
+          path = config_.spill_dir + "/strato_spill_" +
+                 std::to_string(reinterpret_cast<std::uintptr_t>(this)) + "_" +
+                 std::to_string(file_seq++) + ".chan";
+        }
+        channels.push_back(make_file_channel(path, spec.compression));
+        break;
+      }
+    }
+  }
+
+  // Wire gates per vertex (in edge order on both sides, like connect()).
+  const auto nv = job.num_vertices();
+  std::vector<std::vector<ChannelReader*>> inputs(nv);
+  std::vector<std::vector<ChannelWriter*>> outputs(nv);
+  for (std::size_t e = 0; e < job.num_edges(); ++e) {
+    const EdgeSpec& spec = job.edge(e);
+    outputs[static_cast<std::size_t>(spec.src)].push_back(
+        &channels[e]->writer());
+    inputs[static_cast<std::size_t>(spec.dst)].push_back(
+        &channels[e]->reader());
+  }
+
+  std::mutex err_mu;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    threads.emplace_back([&, v] {
+      TaskContext ctx(job.vertex_name(static_cast<int>(v)), inputs[v],
+                      outputs[v]);
+      try {
+        const auto task = job.instantiate(static_cast<int>(v));
+        task->run(ctx);
+      } catch (const std::exception& ex) {
+        std::lock_guard lk(err_mu);
+        if (stats.error.empty()) {
+          stats.error = ctx.name() + ": " + ex.what();
+        }
+      }
+      // Close output gates even on failure so downstream tasks terminate.
+      for (auto* w : outputs[v]) w->close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  stats.channels.reserve(channels.size());
+  for (const auto& ch : channels) stats.channels.push_back(ch->stats());
+  return stats;
+}
+
+}  // namespace strato::dataflow

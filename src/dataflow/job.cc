@@ -1,0 +1,62 @@
+#include "dataflow/job.h"
+
+#include <stdexcept>
+
+namespace strato::dataflow {
+
+int JobGraph::add_vertex(std::string name, TaskFactory factory) {
+  vertices_.push_back({std::move(name), std::move(factory)});
+  return static_cast<int>(vertices_.size()) - 1;
+}
+
+void JobGraph::connect(int src, int dst, ChannelType type,
+                       CompressionSpec compression, std::string file_path) {
+  if (src < 0 || dst < 0 ||
+      src >= static_cast<int>(vertices_.size()) ||
+      dst >= static_cast<int>(vertices_.size())) {
+    throw std::out_of_range("connect: bad vertex id");
+  }
+  if (src == dst) throw std::invalid_argument("connect: self loop");
+  EdgeSpec e;
+  e.src = src;
+  e.dst = dst;
+  e.type = type;
+  e.compression = compression;
+  e.file_path = std::move(file_path);
+  edges_.push_back(std::move(e));
+}
+
+std::vector<int> JobGraph::topo_order() const {
+  const auto n = vertices_.size();
+  std::vector<int> indegree(n, 0);
+  for (const auto& e : edges_) ++indegree[static_cast<std::size_t>(e.dst)];
+  std::vector<int> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<int>(v));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const auto& e : edges_) {
+      if (e.src == v && --indegree[static_cast<std::size_t>(e.dst)] == 0) {
+        ready.push_back(e.dst);
+      }
+    }
+  }
+  if (order.size() != n) throw std::runtime_error("job graph has a cycle");
+  return order;
+}
+
+bool JobGraph::is_dag() const {
+  try {
+    (void)topo_order();
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace strato::dataflow

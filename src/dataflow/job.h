@@ -1,0 +1,107 @@
+// Job graphs — Nephele's programming model.
+//
+// A job is a directed acyclic graph: vertices are tasks, edges are
+// channels (Section III-B). Tasks read records from their input gates and
+// emit records to their output gates; channel compression is configured
+// per edge and invisible to task code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/channel.h"
+
+namespace strato::dataflow {
+
+class TaskContext;
+
+/// User code: one vertex of the job DAG.
+class Task {
+ public:
+  virtual ~Task() = default;
+  /// Execute the task; runs on its own thread. Reads inputs and emits to
+  /// outputs through `ctx`. Output gates are closed automatically when
+  /// run() returns.
+  virtual void run(TaskContext& ctx) = 0;
+};
+
+/// Gates of one running task.
+class TaskContext {
+ public:
+  TaskContext(std::string name, std::vector<ChannelReader*> inputs,
+              std::vector<ChannelWriter*> outputs)
+      : name_(std::move(name)),
+        inputs_(std::move(inputs)),
+        outputs_(std::move(outputs)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Input gate i.
+  [[nodiscard]] ChannelReader& input(std::size_t i) { return *inputs_.at(i); }
+  /// Output gate i.
+  [[nodiscard]] ChannelWriter& output(std::size_t i) {
+    return *outputs_.at(i);
+  }
+
+ private:
+  std::string name_;
+  std::vector<ChannelReader*> inputs_;
+  std::vector<ChannelWriter*> outputs_;
+};
+
+/// Edge description in a job graph.
+struct EdgeSpec {
+  int src = -1;
+  int dst = -1;
+  ChannelType type = ChannelType::kInMemory;
+  CompressionSpec compression;
+  /// File channels: spill path (a unique temp path is generated if empty).
+  std::string file_path;
+};
+
+/// The job DAG.
+class JobGraph {
+ public:
+  using TaskFactory = std::function<std::unique_ptr<Task>()>;
+
+  /// Add a vertex; returns its id.
+  int add_vertex(std::string name, TaskFactory factory);
+
+  /// Connect two vertices with a channel. Gate order on each side follows
+  /// connect() call order.
+  void connect(int src, int dst, ChannelType type,
+               CompressionSpec compression = CompressionSpec::none(),
+               std::string file_path = {});
+
+  [[nodiscard]] std::size_t num_vertices() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::string& vertex_name(int v) const {
+    return vertices_.at(static_cast<std::size_t>(v)).name;
+  }
+  [[nodiscard]] const EdgeSpec& edge(std::size_t e) const {
+    return edges_.at(e);
+  }
+  [[nodiscard]] std::unique_ptr<Task> instantiate(int v) const {
+    return vertices_.at(static_cast<std::size_t>(v)).factory();
+  }
+
+  /// True when the graph has no cycles (execution requires it).
+  [[nodiscard]] bool is_dag() const;
+
+  /// Topological vertex order. @throws std::runtime_error on a cycle.
+  [[nodiscard]] std::vector<int> topo_order() const;
+
+ private:
+  struct Vertex {
+    std::string name;
+    TaskFactory factory;
+  };
+  std::vector<Vertex> vertices_;
+  std::vector<EdgeSpec> edges_;
+};
+
+}  // namespace strato::dataflow

@@ -1,0 +1,36 @@
+#include "dataflow/record.h"
+
+namespace strato::dataflow {
+
+void append_record(common::Bytes& out, common::ByteSpan payload) {
+  const std::size_t base = out.size();
+  out.resize(base + 4 + payload.size());
+  common::store_le32(out.data() + base,
+                     static_cast<std::uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), out.begin() +
+            static_cast<std::ptrdiff_t>(base + 4));
+}
+
+void RecordAssembler::feed(common::ByteSpan data) {
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<common::Bytes> RecordAssembler::next_record() {
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t len = common::load_le32(buf_.data() + off_);
+  if (len > kMaxRecordSize) {
+    throw compress::CodecError("record: implausible length prefix");
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  common::Bytes rec(buf_.begin() + static_cast<std::ptrdiff_t>(off_ + 4),
+                    buf_.begin() + static_cast<std::ptrdiff_t>(off_ + 4 + len));
+  off_ += 4 + len;
+  return rec;
+}
+
+}  // namespace strato::dataflow

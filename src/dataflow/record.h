@@ -1,0 +1,43 @@
+// Record serialization for dataflow channels.
+//
+// Nephele tasks exchange records over channels; the channel turns the
+// record stream into a byte stream (which the compression module then
+// blocks into 128 KB frames) and back. Wire format per record:
+// u32 little-endian payload length, then the payload.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace strato::dataflow {
+
+/// Maximum record payload accepted (sanity bound against corruption).
+inline constexpr std::size_t kMaxRecordSize = 64u << 20;
+
+/// Serialize one record into `out` (appends).
+void append_record(common::Bytes& out, common::ByteSpan payload);
+
+/// Incremental record parser: feed byte-stream chunks (e.g. decompressed
+/// channel blocks), pop complete records.
+class RecordAssembler {
+ public:
+  /// Append raw stream bytes.
+  void feed(common::ByteSpan data);
+
+  /// Next complete record, or nullopt if more bytes are needed.
+  /// @throws compress::CodecError on an implausible length prefix.
+  std::optional<common::Bytes> next_record();
+
+  /// True when no partial record is buffered (clean end of stream).
+  [[nodiscard]] bool drained() const { return buf_.size() == off_; }
+
+ private:
+  common::Bytes buf_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace strato::dataflow

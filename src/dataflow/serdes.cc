@@ -1,0 +1,93 @@
+#include "dataflow/serdes.h"
+
+#include <cstring>
+
+namespace strato::dataflow {
+
+void RecordWriterCursor::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void RecordWriterCursor::put_signed(std::int64_t v) {
+  // Zigzag: interleave positives and negatives onto the unsigned line.
+  put_varint((static_cast<std::uint64_t>(v) << 1) ^
+             static_cast<std::uint64_t>(v >> 63));
+}
+
+void RecordWriterCursor::put_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  const std::size_t base = buf_.size();
+  buf_.resize(base + 8);
+  common::store_le64(buf_.data() + base, bits);
+}
+
+void RecordWriterCursor::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void RecordWriterCursor::put_bytes(common::ByteSpan b) {
+  put_varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::uint64_t RecordReaderCursor::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7E) != 0)) {
+      throw compress::CodecError("serdes: varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::int64_t RecordReaderCursor::get_signed() {
+  const std::uint64_t z = get_varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+double RecordReaderCursor::get_double() {
+  need(8);
+  const std::uint64_t bits = common::load_le64(data_.data() + pos_);
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string RecordReaderCursor::get_string() {
+  const std::uint64_t n = get_varint();
+  need(static_cast<std::size_t>(n));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+common::Bytes RecordReaderCursor::get_bytes() {
+  const std::uint64_t n = get_varint();
+  need(static_cast<std::size_t>(n));
+  common::Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return b;
+}
+
+bool RecordReaderCursor::get_bool() {
+  need(1);
+  const std::uint8_t b = data_[pos_++];
+  if (b > 1) throw compress::CodecError("serdes: bad bool");
+  return b == 1;
+}
+
+}  // namespace strato::dataflow

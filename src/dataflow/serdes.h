@@ -1,0 +1,73 @@
+// Typed record serialization.
+//
+// Nephele tasks exchange *typed* records; our channels move raw byte
+// records. This layer provides the compact primitives (LEB128 varints,
+// zigzag for signed values, length-prefixed strings/bytes, doubles) plus
+// a cursor-style writer/reader so tasks can define record types without
+// hand-rolling byte layouts. Used by the examples and available to any
+// Task implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace strato::dataflow {
+
+/// Cursor-style serializer appending to an owned buffer.
+class RecordWriterCursor {
+ public:
+  /// Unsigned LEB128 varint.
+  void put_varint(std::uint64_t v);
+  /// Zigzag-encoded signed varint.
+  void put_signed(std::int64_t v);
+  /// IEEE-754 double, little-endian.
+  void put_double(double v);
+  /// Length-prefixed UTF-8/opaque string.
+  void put_string(std::string_view s);
+  /// Length-prefixed raw bytes.
+  void put_bytes(common::ByteSpan b);
+  /// Single byte flag.
+  void put_bool(bool v) { buf_.push_back(v ? 1 : 0); }
+
+  [[nodiscard]] const common::Bytes& bytes() const { return buf_; }
+  [[nodiscard]] common::Bytes take() { return std::move(buf_); }
+  void clear() { buf_.clear(); }
+
+ private:
+  common::Bytes buf_;
+};
+
+/// Cursor-style deserializer over a span. All getters throw CodecError on
+/// truncated or malformed input.
+class RecordReaderCursor {
+ public:
+  explicit RecordReaderCursor(common::ByteSpan data) : data_(data) {}
+
+  std::uint64_t get_varint();
+  std::int64_t get_signed();
+  double get_double();
+  std::string get_string();
+  common::Bytes get_bytes();
+  bool get_bool();
+
+  /// True when the whole record has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw compress::CodecError("serdes: truncated record");
+    }
+  }
+
+  common::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace strato::dataflow

@@ -1,0 +1,37 @@
+#include "dataflow/stdtasks.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+
+namespace strato::dataflow {
+
+void PartitionTask::run(TaskContext& ctx) {
+  const std::size_t fanout = ctx.num_outputs();
+  while (auto rec = ctx.input(0).next()) {
+    const std::size_t gate =
+        fanout <= 1 ? 0 : common::xxh64(*rec) % fanout;
+    ctx.output(gate).emit(*rec);
+  }
+}
+
+void UnionTask::run(TaskContext& ctx) {
+  // Drain each input gate on its own thread so one idle upstream cannot
+  // stall the others (channels block on empty).
+  std::vector<std::thread> drains;
+  std::mutex emit_mu;
+  drains.reserve(ctx.num_inputs());
+  for (std::size_t i = 0; i < ctx.num_inputs(); ++i) {
+    drains.emplace_back([&ctx, &emit_mu, i] {
+      while (auto rec = ctx.input(i).next()) {
+        std::lock_guard lk(emit_mu);
+        ctx.output(0).emit(*rec);
+      }
+    });
+  }
+  for (auto& d : drains) d.join();
+}
+
+}  // namespace strato::dataflow

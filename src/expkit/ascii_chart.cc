@@ -1,0 +1,92 @@
+#include "expkit/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace strato::expkit {
+
+std::string render_boxplot(const std::string& label,
+                           const common::FiveNumber& f, double lo, double hi,
+                           std::size_t width) {
+  const double span = hi - lo;
+  const auto col = [&](double v) -> std::size_t {
+    if (span <= 0) return 0;
+    const double rel = (v - lo) / span;
+    return static_cast<std::size_t>(
+        std::clamp(rel, 0.0, 1.0) * static_cast<double>(width - 1));
+  };
+  std::string line(width, ' ');
+  const std::size_t cmin = col(f.min), cq1 = col(f.q1), cmed = col(f.median),
+                    cq3 = col(f.q3), cmax = col(f.max);
+  for (std::size_t i = cmin; i <= cmax && i < width; ++i) line[i] = '-';
+  for (std::size_t i = cq1; i <= cq3 && i < width; ++i) line[i] = '=';
+  line[cmin] = '|';
+  line[cmax] = '|';
+  if (cq1 < width) line[cq1] = '[';
+  if (cq3 < width) line[cq3] = ']';
+  if (cmed < width) line[cmed] = '#';
+  std::ostringstream os;
+  os << "  " << label;
+  if (label.size() < 22) os << std::string(22 - label.size(), ' ');
+  os << line;
+  return os.str();
+}
+
+std::string render_strip(const metrics::TimeSeries& series,
+                         std::size_t columns, std::size_t height,
+                         const std::string& unit) {
+  std::ostringstream os;
+  if (series.points().empty() || height == 0 || columns == 0) {
+    return "  (no data)\n";
+  }
+  const double t0 = series.points().front().first.to_seconds();
+  const double t1 = series.points().back().first.to_seconds();
+  const double dt = std::max(1e-9, (t1 - t0) / static_cast<double>(columns));
+
+  std::vector<double> vals(columns, 0.0);
+  double peak = 0.0;
+  for (std::size_t c = 0; c < columns; ++c) {
+    vals[c] = series.at(
+        common::SimTime::seconds(t0 + (static_cast<double>(c) + 0.5) * dt));
+    peak = std::max(peak, vals[c]);
+  }
+  if (peak <= 0) peak = 1.0;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double threshold =
+        peak * static_cast<double>(height - r) / static_cast<double>(height);
+    os << "  ";
+    char axis[32];
+    std::snprintf(axis, sizeof axis, "%8.0f |", threshold);
+    os << axis;
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << (vals[c] >= threshold - 1e-12 ? '#' : ' ');
+    }
+    os << "\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof footer,
+                "  %8s +%s\n  t: %.0fs .. %.0fs%s%s\n", "",
+                std::string(columns, '-').c_str(), t0, t1,
+                unit.empty() ? "" : "  unit: ", unit.c_str());
+  os << footer;
+  return os.str();
+}
+
+std::string render_level_strip(const metrics::TimeSeries& levels,
+                               double duration_s, std::size_t columns) {
+  static const char kGlyph[] = {'N', 'L', 'M', 'H'};
+  std::ostringstream os;
+  os << "  level:   |";
+  for (std::size_t c = 0; c < columns; ++c) {
+    const double t =
+        duration_s * (static_cast<double>(c) + 0.5) / static_cast<double>(columns);
+    const int lvl = std::clamp(
+        static_cast<int>(levels.at(common::SimTime::seconds(t), 0.0)), 0, 3);
+    os << kGlyph[lvl];
+  }
+  os << "|\n";
+  return os.str();
+}
+
+}  // namespace strato::expkit

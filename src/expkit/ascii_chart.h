@@ -1,0 +1,33 @@
+// ASCII renderings of the paper's figures for bench output.
+//
+// Boxplots (Fig. 2 / Fig. 3) render as labelled |--[==|==]--| strips on a
+// shared axis; timelines (Fig. 4-6) as fixed-height strip charts with one
+// column per time bucket.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/timeseries.h"
+
+namespace strato::expkit {
+
+/// One boxplot row on a shared [lo, hi] axis.
+std::string render_boxplot(const std::string& label,
+                           const common::FiveNumber& f, double lo, double hi,
+                           std::size_t width = 60);
+
+/// A strip chart of `series` resampled to `columns` buckets between its
+/// first and last sample, `height` rows tall. `unit` is appended to the
+/// axis labels.
+std::string render_strip(const metrics::TimeSeries& series,
+                         std::size_t columns = 72, std::size_t height = 8,
+                         const std::string& unit = "");
+
+/// The compression-level strip of Figs. 4-6: one character per bucket
+/// (N / L / M / H for levels 0-3).
+std::string render_level_strip(const metrics::TimeSeries& levels,
+                               double duration_s, std::size_t columns = 72);
+
+}  // namespace strato::expkit

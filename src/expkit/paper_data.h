@@ -1,0 +1,63 @@
+// The paper's published numbers, for paper-vs-measured comparisons.
+//
+// Table II of Hovestadt et al., IPDPS 2011: average completion times in
+// seconds (SD in a parallel table) for the 50 GB sample job, by policy,
+// data compressibility and number of concurrent background TCP flows.
+#pragma once
+
+#include <array>
+
+namespace strato::expkit {
+
+/// Policy row order of Table II.
+enum PaperPolicy { kNo = 0, kLight, kMedium, kHeavy, kDynamic };
+inline constexpr std::array<const char*, 5> kPolicyNames = {
+    "NO", "LIGHT", "MEDIUM", "HEAVY", "DYNAMIC"};
+
+/// Corpus column order of Table II.
+inline constexpr std::array<const char*, 3> kClassNames = {"HIGH", "MODERATE",
+                                                           "LOW"};
+
+/// kPaperTable2[bg_flows][policy][class] -> mean seconds.
+inline constexpr double kPaperTable2[4][5][3] = {
+    // 0 concurrent connections
+    {{569, 567, 566},
+     {252, 629, 688},
+     {347, 795, 1095},
+     {1881, 5760, 9011},
+     {265, 635, 602}},
+    // 1 concurrent connection
+    {{908, 896, 903},
+     {258, 624, 927},
+     {367, 840, 1241},
+     {1974, 5979, 9326},
+     {273, 648, 920}},
+    // 2 concurrent connections
+    {{1393, 1292, 1313},
+     {312, 756, 1440},
+     {378, 896, 1481},
+     {1985, 6130, 9597},
+     {363, 920, 1452}},
+    // 3 concurrent connections
+    {{1642, 1584, 1638},
+     {358, 1027, 1555},
+     {397, 953, 1829},
+     {1994, 6218, 9278},
+     {411, 1075, 1865}},
+};
+
+/// Corresponding standard deviations.
+inline constexpr double kPaperTable2Sd[4][5][3] = {
+    {{3, 7, 3}, {3, 2, 3}, {6, 5, 8}, {23, 25, 30}, {4, 4, 3}},
+    {{6, 6, 6}, {3, 7, 8}, {3, 5, 42}, {24, 34, 30}, {3, 16, 13}},
+    {{75, 67, 39}, {14, 23, 87}, {10, 38, 27}, {26, 31, 45}, {22, 18, 40}},
+    {{70, 120, 70}, {10, 65, 17}, {3, 55, 100}, {21, 34, 49}, {35, 37, 114}},
+};
+
+/// The paper's headline claims, checked by tests/benches:
+/// DYNAMIC is at most 22 % worse than the fastest static level...
+inline constexpr double kPaperDynamicBound = 0.22;
+/// ...and improves throughput over NO compression by up to a factor of 4.
+inline constexpr double kPaperSpeedupClaim = 4.0;
+
+}  // namespace strato::expkit

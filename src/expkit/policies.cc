@@ -1,0 +1,54 @@
+#include "expkit/policies.h"
+
+#include <stdexcept>
+
+namespace strato::expkit {
+
+std::vector<core::TrainedLevelModel> trained_from_model(
+    const vsim::CodecModel& model, corpus::Compressibility c,
+    double codec_speed_factor) {
+  std::vector<core::TrainedLevelModel> out;
+  for (int l = 0; l < vsim::CodecModel::kNumLevels; ++l) {
+    const auto& b = model.get(l, c);
+    out.push_back({b.compress_bytes_s * codec_speed_factor, b.ratio});
+  }
+  return out;
+}
+
+std::unique_ptr<core::CompressionPolicy> make_policy(
+    const std::string& name, vsim::TransferExperiment& exp, double alpha,
+    common::SimTime window) {
+  for (int l = 0; l < vsim::CodecModel::kNumLevels; ++l) {
+    static const char* kStatic[] = {"NO", "LIGHT", "MEDIUM", "HEAVY"};
+    if (name == kStatic[l]) {
+      return std::make_unique<core::StaticPolicy>(l, name);
+    }
+  }
+  if (name == "DYNAMIC") {
+    core::AdaptiveConfig cfg;
+    cfg.alpha = alpha;
+    cfg.num_levels = vsim::CodecModel::kNumLevels;
+    return std::make_unique<core::AdaptivePolicy>(cfg, window);
+  }
+  if (name == "METRIC") {
+    return std::make_unique<core::MetricDrivenPolicy>(
+        trained_from_model(exp.config().model, exp.config().data,
+                           exp.config().codec_speed_factor),
+        exp.metrics(), window);
+  }
+  if (name == "QUEUE") {
+    // In the simulator there is no materialised FIFO; approximate the
+    // occupancy signal with the displayed-bandwidth/capacity ratio (a full
+    // queue corresponds to the link running behind the compressor).
+    auto& metrics = exp.metrics();
+    const double cap = vsim::profile(exp.config().tech).net_bytes_s;
+    return std::make_unique<core::QueuePolicy>(
+        [&metrics, cap] {
+          return 1.0 - std::min(1.0, metrics.displayed_bandwidth() / cap);
+        },
+        vsim::CodecModel::kNumLevels, window);
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace strato::expkit

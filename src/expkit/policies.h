@@ -1,0 +1,30 @@
+// Policy factories shared by benches and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/policy.h"
+#include "vsim/transfer.h"
+
+namespace strato::expkit {
+
+/// The paper's five Table II policies by name ("NO", "LIGHT", "MEDIUM",
+/// "HEAVY", "DYNAMIC") plus the related-work baselines ("METRIC",
+/// "QUEUE"). `exp` supplies the displayed-metric feed for METRIC and must
+/// outlive the returned policy. @throws std::invalid_argument on unknown
+/// names.
+std::unique_ptr<core::CompressionPolicy> make_policy(
+    const std::string& name, vsim::TransferExperiment& exp,
+    double alpha = 0.2,
+    common::SimTime window = common::SimTime::seconds(2));
+
+/// Offline "training" table for the METRIC baseline, derived from a codec
+/// model and corpus class (what a calibration phase on an unloaded
+/// machine would have measured).
+std::vector<core::TrainedLevelModel> trained_from_model(
+    const vsim::CodecModel& model, corpus::Compressibility c,
+    double codec_speed_factor = 1.0);
+
+}  // namespace strato::expkit

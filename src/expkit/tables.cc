@@ -1,0 +1,74 @@
+#include "expkit/tables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace strato::expkit {
+
+void TablePrinter::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), std::move(cells));
+  has_header_ = true;
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Left-align the first column, right-align the rest.
+      const auto pad = widths[c] - r[c].size();
+      if (c == 0) {
+        os << r[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << r[c];
+      }
+    }
+    os << "\n";
+    if (i == 0 && has_header_) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string mean_sd(double mean, double sd) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f (%.0f)", mean, sd);
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof buf, "%.0f", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f", s);
+  }
+  return buf;
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace strato::expkit

@@ -1,0 +1,39 @@
+// Console table rendering for the benchmark harness.
+//
+// The benches print the same rows the paper's tables/figures report,
+// side by side with the paper's numbers where available. This is plain
+// fixed-width formatting — no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace strato::expkit {
+
+/// Simple fixed-width table: add rows of cells, print aligned.
+class TablePrinter {
+ public:
+  /// Header row.
+  void header(std::vector<std::string> cells);
+  /// Body row.
+  void row(std::vector<std::string> cells);
+  /// Render with column alignment; includes a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  bool has_header_ = false;
+};
+
+/// "123 (4)" — the paper's mean (SD) cell format.
+std::string mean_sd(double mean, double sd);
+
+/// Format seconds with no decimals (completion times) or short fixed
+/// precision for small values.
+std::string fmt_seconds(double s);
+
+/// Fixed-precision helper.
+std::string fmt(double v, int decimals = 1);
+
+}  // namespace strato::expkit

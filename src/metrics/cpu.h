@@ -1,0 +1,46 @@
+// CPU utilization breakdown.
+//
+// The paper's Fig. 1 splits CPU time into user (USR), kernel (SYS),
+// hardware interrupt (HIRQ), software interrupt (SIRQ) and — for
+// virtualized guests — STEAL (hypervisor time given to other tasks).
+// Both the real /proc/stat parser and the simulator's distortion model
+// produce this structure.
+#pragma once
+
+#include <string>
+
+namespace strato::metrics {
+
+/// Fractions of one CPU's time over an interval, each in [0, 1].
+struct CpuBreakdown {
+  double usr = 0.0;
+  double sys = 0.0;
+  double hirq = 0.0;
+  double sirq = 0.0;
+  double steal = 0.0;
+
+  /// Total busy fraction (everything but idle).
+  [[nodiscard]] double busy() const {
+    return usr + sys + hirq + sirq + steal;
+  }
+  /// Idle fraction.
+  [[nodiscard]] double idle() const { return 1.0 - busy(); }
+
+  CpuBreakdown& operator+=(const CpuBreakdown& o) {
+    usr += o.usr;
+    sys += o.sys;
+    hirq += o.hirq;
+    sirq += o.sirq;
+    steal += o.steal;
+    return *this;
+  }
+
+  CpuBreakdown operator*(double f) const {
+    return {usr * f, sys * f, hirq * f, sirq * f, steal * f};
+  }
+};
+
+/// "usr=.. sys=.. hirq=.. sirq=.. steal=.." (percent) for logs/benches.
+std::string to_string(const CpuBreakdown& b);
+
+}  // namespace strato::metrics

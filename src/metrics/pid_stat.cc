@@ -1,0 +1,57 @@
+#include "metrics/pid_stat.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace strato::metrics {
+
+std::optional<PidStatSnapshot> parse_pid_stat(std::string_view content) {
+  // Layout: pid (comm) state ppid pgrp session tty tpgid flags minflt
+  // cminflt majflt cmajflt utime stime ...
+  // comm may contain anything including ')'; the field ends at the LAST
+  // ')' in the line.
+  const std::size_t open = content.find('(');
+  const std::size_t close = content.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return std::nullopt;
+  }
+  PidStatSnapshot s;
+  {
+    std::istringstream head{std::string(content.substr(0, open))};
+    if (!(head >> s.pid)) return std::nullopt;
+  }
+  s.comm = std::string(content.substr(open + 1, close - open - 1));
+
+  std::istringstream tail{std::string(content.substr(close + 1))};
+  tail >> s.state;
+  // Skip fields 4..13 (ppid .. cmajflt), then utime stime.
+  std::uint64_t skip;
+  for (int i = 0; i < 10; ++i) {
+    if (!(tail >> skip)) return std::nullopt;
+  }
+  if (!(tail >> s.utime >> s.stime)) return std::nullopt;
+  return s;
+}
+
+std::optional<PidStatSnapshot> read_pid_stat(int pid) {
+  std::ifstream f("/proc/" + std::to_string(pid) + "/stat");
+  if (!f) return std::nullopt;
+  std::string line;
+  std::getline(f, line);
+  return parse_pid_stat(line);
+}
+
+double process_cpu_fraction(const PidStatSnapshot& earlier,
+                            const PidStatSnapshot& later, double elapsed_s,
+                            double ticks_per_s) {
+  if (elapsed_s <= 0 || ticks_per_s <= 0 ||
+      later.total() < earlier.total()) {
+    return 0.0;
+  }
+  const double jiffies =
+      static_cast<double>(later.total() - earlier.total());
+  return jiffies / ticks_per_s / elapsed_s;
+}
+
+}  // namespace strato::metrics

@@ -1,0 +1,40 @@
+// /proc/<pid>/stat parsing — the paper's host-side monitoring path.
+//
+// For KVM-based experiments the paper determines the qemu process id and
+// traces its CPU utilization through /proc/<pid>/stat at 1 Hz. This
+// parser handles that interface, including executable names containing
+// spaces and parentheses (the comm field is delimited by the *last*
+// closing parenthesis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace strato::metrics {
+
+/// Relevant fields of one /proc/<pid>/stat line.
+struct PidStatSnapshot {
+  int pid = 0;
+  std::string comm;          ///< executable name (without parentheses)
+  char state = '?';
+  std::uint64_t utime = 0;   ///< user-mode jiffies
+  std::uint64_t stime = 0;   ///< kernel-mode jiffies
+
+  [[nodiscard]] std::uint64_t total() const { return utime + stime; }
+};
+
+/// Parse a /proc/<pid>/stat line. Returns nullopt on malformed input.
+std::optional<PidStatSnapshot> parse_pid_stat(std::string_view content);
+
+/// Read and parse the live /proc/<pid>/stat (Linux only).
+std::optional<PidStatSnapshot> read_pid_stat(int pid);
+
+/// CPU fraction a process used between two snapshots over `elapsed_s`
+/// seconds, given the kernel tick rate (USER_HZ, typically 100).
+double process_cpu_fraction(const PidStatSnapshot& earlier,
+                            const PidStatSnapshot& later, double elapsed_s,
+                            double ticks_per_s = 100.0);
+
+}  // namespace strato::metrics

@@ -1,0 +1,60 @@
+#include "metrics/proc_stat.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace strato::metrics {
+
+std::string to_string(const CpuBreakdown& b) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "usr=%.1f%% sys=%.1f%% hirq=%.1f%% sirq=%.1f%% steal=%.1f%%",
+                b.usr * 100, b.sys * 100, b.hirq * 100, b.sirq * 100,
+                b.steal * 100);
+  return buf;
+}
+
+std::optional<ProcStatSnapshot> parse_proc_stat(std::string_view content) {
+  std::istringstream is{std::string(content)};
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("cpu ", 0) != 0) continue;
+    std::istringstream ls(line.substr(4));
+    ProcStatSnapshot s;
+    if (ls >> s.user >> s.nice >> s.system >> s.idle) {
+      // iowait/irq/softirq/steal are absent on very old kernels; default 0.
+      ls >> s.iowait >> s.irq >> s.softirq >> s.steal;
+      return s;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcStatSnapshot> read_proc_stat() {
+  std::ifstream f("/proc/stat");
+  if (!f) return std::nullopt;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return parse_proc_stat(buf.str());
+}
+
+CpuBreakdown diff(const ProcStatSnapshot& earlier,
+                  const ProcStatSnapshot& later) {
+  CpuBreakdown b;
+  const std::uint64_t dt = later.total() - earlier.total();
+  if (dt == 0 || later.total() < earlier.total()) return b;
+  const auto frac = [dt](std::uint64_t hi, std::uint64_t lo) {
+    return hi >= lo ? static_cast<double>(hi - lo) / static_cast<double>(dt)
+                    : 0.0;
+  };
+  b.usr = frac(later.user + later.nice, earlier.user + earlier.nice);
+  b.sys = frac(later.system, earlier.system);
+  b.hirq = frac(later.irq, earlier.irq);
+  b.sirq = frac(later.softirq, earlier.softirq);
+  b.steal = frac(later.steal, earlier.steal);
+  return b;
+}
+
+}  // namespace strato::metrics

@@ -1,0 +1,45 @@
+// /proc/stat parsing.
+//
+// Section II monitors guests by sampling the Linux /proc/stat interface
+// once per second. This parser implements that path for live (non-
+// simulated) usage: snapshot the aggregate cpu line, diff two snapshots,
+// and obtain the CpuBreakdown over the interval.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "metrics/cpu.h"
+
+namespace strato::metrics {
+
+/// Raw jiffy counters of the aggregate "cpu" line of /proc/stat.
+struct ProcStatSnapshot {
+  std::uint64_t user = 0;
+  std::uint64_t nice = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+  std::uint64_t irq = 0;
+  std::uint64_t softirq = 0;
+  std::uint64_t steal = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return user + nice + system + idle + iowait + irq + softirq + steal;
+  }
+};
+
+/// Parse the first "cpu " line out of /proc/stat content.
+/// Returns nullopt if the line is missing or malformed.
+std::optional<ProcStatSnapshot> parse_proc_stat(std::string_view content);
+
+/// Read and parse the live /proc/stat (Linux only).
+std::optional<ProcStatSnapshot> read_proc_stat();
+
+/// Breakdown of the interval between two snapshots (later minus earlier).
+/// Returns zeros if no jiffies elapsed.
+CpuBreakdown diff(const ProcStatSnapshot& earlier,
+                  const ProcStatSnapshot& later);
+
+}  // namespace strato::metrics

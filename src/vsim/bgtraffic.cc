@@ -1,0 +1,65 @@
+#include "vsim/bgtraffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strato::vsim {
+
+using common::SimTime;
+
+BgTrafficProcess::BgTrafficProcess(BgTrafficConfig config,
+                                   std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed ^ 0xB67F1040000000AAULL),
+      flows_(config_.initial_flows) {
+  if (config_.steps.empty() && config_.arrival_per_s > 0.0) {
+    schedule_next_arrival();
+  }
+}
+
+void BgTrafficProcess::schedule_next_arrival() {
+  const double gap =
+      -std::log(std::max(1e-12, rng_.uniform())) / config_.arrival_per_s;
+  next_arrival_ = now_ + SimTime::seconds(gap);
+}
+
+int BgTrafficProcess::flows_at(SimTime now) {
+  now_ = std::max(now_, now);
+  if (!config_.steps.empty()) {
+    while (step_idx_ < config_.steps.size() &&
+           SimTime::seconds(config_.steps[step_idx_].first) <= now_) {
+      flows_ = config_.steps[step_idx_].second;
+      ++step_idx_;
+    }
+    return flows_;
+  }
+  if (config_.arrival_per_s <= 0.0) return flows_;
+
+  // Birth-death: process departures that happened, then arrivals.
+  for (;;) {
+    // Earliest pending event before `now_`.
+    auto next_departure = SimTime::max();
+    for (const auto d : departures_) next_departure = std::min(next_departure, d);
+    const SimTime next_event = std::min(next_arrival_, next_departure);
+    if (next_event > now_) break;
+    if (next_event == next_arrival_) {
+      if (flows_ < config_.max_flows) {
+        ++flows_;
+        const double hold = -std::log(std::max(1e-12, rng_.uniform())) *
+                            config_.mean_holding_s;
+        departures_.push_back(next_event + SimTime::seconds(hold));
+      }
+      const SimTime saved = now_;
+      now_ = next_event;
+      schedule_next_arrival();
+      now_ = saved;
+    } else {
+      departures_.erase(
+          std::find(departures_.begin(), departures_.end(), next_departure));
+      flows_ = std::max(0, flows_ - 1);
+    }
+  }
+  return flows_;
+}
+
+}  // namespace strato::vsim

@@ -1,0 +1,60 @@
+// Dynamic background traffic.
+//
+// The paper's Table II holds the number of co-located TCP connections
+// fixed per run; in a real cloud neighbours come and go. This model makes
+// the background-flow count a birth-death process (Poisson arrivals,
+// exponential holding times) or a deterministic step schedule, so the
+// extension benches can test how quickly the adaptive scheme follows
+// changing contention — the scenario the paper's introduction motivates.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace strato::vsim {
+
+/// Configuration of the background-flow process.
+struct BgTrafficConfig {
+  /// Deterministic schedule: (time_s, flows) steps, must be time-sorted.
+  /// Used when non-empty; overrides the stochastic parameters.
+  std::vector<std::pair<double, int>> steps;
+
+  /// Stochastic birth-death process (used when steps is empty and
+  /// arrival_per_s > 0): flows arrive Poisson(arrival_per_s) and each
+  /// stays Exp(mean_holding_s).
+  double arrival_per_s = 0.0;
+  double mean_holding_s = 60.0;
+  int initial_flows = 0;
+  int max_flows = 8;
+
+  [[nodiscard]] bool enabled() const {
+    return !steps.empty() || arrival_per_s > 0.0;
+  }
+};
+
+/// Lazily-advancing flow-count process; queries must be non-decreasing in
+/// time.
+class BgTrafficProcess {
+ public:
+  BgTrafficProcess(BgTrafficConfig config, std::uint64_t seed);
+
+  /// Number of concurrent background flows at `now`.
+  int flows_at(common::SimTime now);
+
+ private:
+  void schedule_next_arrival();
+
+  BgTrafficConfig config_;
+  common::Xoshiro256 rng_;
+  int flows_;
+  std::size_t step_idx_ = 0;
+  common::SimTime next_arrival_ = common::SimTime::max();
+  std::vector<common::SimTime> departures_;  // unsorted; scanned lazily
+  common::SimTime now_;
+};
+
+}  // namespace strato::vsim

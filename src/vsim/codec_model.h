@@ -1,0 +1,55 @@
+// Codec behaviour model for the simulator.
+//
+// The virtual-time pipeline charges CPU time for compression and sizes
+// wire transfers by ratio; both come from this table, indexed by
+// (compression level, corpus class). Two sources:
+//
+//  * defaults(): constants measured from *this repository's* codecs over
+//    *this repository's* corpus generators (tests pin the live values to
+//    these within a tolerance), giving deterministic simulations;
+//  * calibrate(): re-measures the real codecs at bench startup, so the
+//    reproduced tables reflect the machine they run on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "compress/registry.h"
+#include "corpus/generator.h"
+
+namespace strato::vsim {
+
+/// Simulated behaviour of one level on one corpus class.
+struct LevelBehaviour {
+  double compress_bytes_s = 0.0;    ///< raw bytes/s, one dedicated core
+  double decompress_bytes_s = 0.0;  ///< raw bytes/s, one dedicated core
+  double ratio = 1.0;               ///< compressed/raw
+};
+
+/// (level x corpus) behaviour table.
+class CodecModel {
+ public:
+  static constexpr int kNumLevels = 4;
+  static constexpr int kNumClasses = 3;  // HIGH / MODERATE / LOW
+
+  /// Behaviour of `level` on corpus class `c`.
+  [[nodiscard]] const LevelBehaviour& get(
+      int level, corpus::Compressibility c) const;
+
+  /// Override one cell (tests, what-if ablations).
+  void set(int level, corpus::Compressibility c, LevelBehaviour b);
+
+  /// Constants measured from the repository's codecs (see file comment).
+  static CodecModel defaults();
+
+  /// Measure the real codecs over the real generators; `bytes_per_cell`
+  /// of data per (level, corpus) pair.
+  static CodecModel calibrate(
+      const compress::CodecRegistry& registry = compress::CodecRegistry::standard(),
+      std::size_t bytes_per_cell = 8u << 20);
+
+ private:
+  std::array<std::array<LevelBehaviour, kNumClasses>, kNumLevels> table_{};
+};
+
+}  // namespace strato::vsim

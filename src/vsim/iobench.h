@@ -1,0 +1,62 @@
+// The Section II measurement study, in virtual time.
+//
+// Fig. 1: saturate one I/O operation and sample the CPU utilization once
+// per second, both as displayed inside the VM and as reported by the host
+// (>=120 samples, like the paper). Fig. 2 / Fig. 3: move 50 GB through
+// the network / the disk, timestamping every 20 MB, and report the
+// distribution of the per-chunk rates observed inside the VM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/cpu.h"
+#include "vsim/profile.h"
+
+namespace strato::vsim {
+
+/// One per-second CPU sample of the Fig. 1 study.
+struct CpuAccuracySample {
+  metrics::CpuBreakdown vm;
+  metrics::CpuBreakdown host;
+};
+
+/// Aggregated Fig. 1 cell: averages over all samples.
+struct CpuAccuracyResult {
+  metrics::CpuBreakdown vm_mean;
+  metrics::CpuBreakdown host_mean;
+  bool host_observable = true;
+  std::vector<CpuAccuracySample> samples;
+
+  /// host busy / vm busy — the paper's "factor 15" discrepancy measure.
+  [[nodiscard]] double discrepancy() const {
+    const double v = vm_mean.busy();
+    return v > 1e-9 ? host_mean.busy() / v : 0.0;
+  }
+};
+
+/// Run the Fig. 1 experiment for one (technique, operation) cell.
+/// @param num_samples  per-second samples (paper: >=120)
+CpuAccuracyResult run_cpu_accuracy(VirtTech tech, IoOp op, int num_samples,
+                                   std::uint64_t seed);
+
+/// Fig. 2: distribution of network send throughput (MBit/s) observed
+/// inside the VM, one sample per `chunk_bytes` (paper: 20 MB over 50 GB).
+common::Sample run_net_throughput(VirtTech tech, std::uint64_t total_bytes,
+                                  std::uint64_t chunk_bytes,
+                                  std::uint64_t seed);
+
+/// Fig. 3: distribution of file-write throughput (MB/s) observed inside
+/// the VM, one sample per chunk. Also reports how many bytes were still
+/// dirty in the host cache at the end (the XEN surprise).
+struct FileWriteResult {
+  common::Sample rates_mb_s;
+  double final_dirty_bytes = 0.0;
+};
+FileWriteResult run_file_write_throughput(VirtTech tech,
+                                          std::uint64_t total_bytes,
+                                          std::uint64_t chunk_bytes,
+                                          std::uint64_t seed);
+
+}  // namespace strato::vsim

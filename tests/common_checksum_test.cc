@@ -1,0 +1,92 @@
+// XXH64 implementation tests: reference vectors, streaming equivalence,
+// chunking invariance.
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+
+namespace strato::common {
+namespace {
+
+TEST(Xxh64, ReferenceVectors) {
+  // Vectors from the xxHash reference implementation.
+  EXPECT_EQ(xxh64({}), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxh64(as_bytes("a")), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxh64(as_bytes("abc")), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(Xxh64, SeedChangesDigest) {
+  const auto data = as_bytes("the quick brown fox");
+  EXPECT_NE(xxh64(data, 0), xxh64(data, 1));
+  EXPECT_EQ(xxh64(data, 42), xxh64(data, 42));
+}
+
+TEST(Xxh64, AllLengthsStreamingMatchesOneShot) {
+  Xoshiro256 rng(7);
+  Bytes data(1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  for (std::size_t len = 0; len <= data.size(); len += 13) {
+    const ByteSpan view(data.data(), len);
+    Xxh64State st;
+    st.update(view);
+    EXPECT_EQ(st.digest(), xxh64(view)) << "len=" << len;
+  }
+}
+
+TEST(Xxh64, DigestIsIdempotentAndResumable) {
+  const auto data = as_bytes("hello world, hello cloud");
+  Xxh64State st;
+  st.update(data.subspan(0, 5));
+  const auto mid = st.digest();
+  EXPECT_EQ(mid, st.digest());  // digest() does not consume state
+  st.update(data.subspan(5));
+  EXPECT_EQ(st.digest(), xxh64(data));
+}
+
+class ChunkingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChunkingTest, RandomChunkingInvariance) {
+  Xoshiro256 rng(GetParam());
+  Bytes data(1 + rng.below(100000));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint64_t want = xxh64(data);
+
+  Xxh64State st;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.below(997), data.size() - off);
+    st.update(ByteSpan(data.data() + off, n));
+    off += n;
+  }
+  EXPECT_EQ(st.digest(), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Xxh64, LargeInput) {
+  Bytes data(5 * 1024 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + (i >> 11));
+  }
+  const auto h1 = xxh64(data);
+  Xxh64State st;
+  st.update(ByteSpan(data.data(), 1 << 20));
+  st.update(ByteSpan(data.data() + (1 << 20), data.size() - (1 << 20)));
+  EXPECT_EQ(st.digest(), h1);
+  // Flipping one bit anywhere must change the digest.
+  data[data.size() / 2] ^= 1;
+  EXPECT_NE(xxh64(data), h1);
+}
+
+TEST(Xxh64, ResetReusesState) {
+  Xxh64State st(5);
+  st.update(as_bytes("abcdef"));
+  st.reset(0);
+  st.update(as_bytes("abc"));
+  EXPECT_EQ(st.digest(), xxh64(as_bytes("abc")));
+}
+
+}  // namespace
+}  // namespace strato::common

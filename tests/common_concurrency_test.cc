@@ -1,0 +1,122 @@
+// SpscRing and ThreadPool behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "common/spsc_ring.h"
+#include "common/thread_pool.h"
+
+namespace strato::common {
+namespace {
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRing, TryPushRespectsCapacity) {
+  SpscRing<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.fill(), 1.0);
+}
+
+TEST(SpscRing, CloseDrainsThenEnds) {
+  SpscRing<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed
+}
+
+TEST(SpscRing, BlockingHandoffAcrossThreads) {
+  SpscRing<int> q(4);
+  constexpr int kN = 10000;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  long long sum = 0;
+  int count = 0;
+  while (auto v = q.pop()) {
+    sum += *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(SpscRing, TryPopNonBlocking) {
+  SpscRing<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(9);
+  EXPECT_EQ(q.try_pop().value(), 9);
+}
+
+TEST(SpscRing, ZeroCapacityCoercedToOne) {
+  SpscRing<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(ThreadPool, ExecutesAllJobs) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { done.fetch_add(1); });
+    }
+    // Destructor must wait for queued work? (It stops after current jobs;
+    // verify no crash and at least the started jobs finished.)
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsCoercedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+}  // namespace
+}  // namespace strato::common

@@ -1,0 +1,77 @@
+// PRNG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace strato::common {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(1), b(1), c(2);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, c.next());
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Xoshiro256, UniformRange) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256, SatisfiesUrbgConcept) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == UINT64_MAX);
+  Xoshiro256 rng(1);
+  (void)rng();
+}
+
+}  // namespace
+}  // namespace strato::common

@@ -1,0 +1,128 @@
+// Statistics utilities: streaming moments, quantiles, boxplot stats,
+// histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace strato::common {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, AgreesWithSample) {
+  Xoshiro256 rng(11);
+  RunningStats rs;
+  Sample sm;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.gaussian(10.0, 3.0);
+    rs.add(x);
+    sm.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), sm.mean(), 1e-9);
+  EXPECT_NEAR(rs.stddev(), sm.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), sm.min());
+  EXPECT_DOUBLE_EQ(rs.max(), sm.max());
+}
+
+TEST(Sample, Quantiles) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-9);
+  // Quantiles are monotone in q.
+  double prev = -1e18;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Sample, QuantileEdgeCases) {
+  Sample s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);  // empty
+  s.add(7.0);
+  EXPECT_EQ(s.quantile(0.0), 7.0);
+  EXPECT_EQ(s.quantile(1.0), 7.0);
+  EXPECT_EQ(s.quantile(0.3), 7.0);
+}
+
+TEST(Sample, FiveNumberAndOutliers) {
+  Sample s;
+  for (int i = 0; i < 100; ++i) s.add(50.0 + (i % 10));
+  s.add(1000.0);  // far outlier
+  const FiveNumber f = s.five_number();
+  EXPECT_EQ(f.min, 50.0);
+  EXPECT_EQ(f.max, 1000.0);
+  EXPECT_GE(f.q3, f.q1);
+  EXPECT_GE(f.median, f.q1);
+  EXPECT_LE(f.median, f.q3);
+  EXPECT_GE(f.outliers, 1u);
+}
+
+TEST(Sample, LazySortSurvivesInterleavedAdds) {
+  Sample s;
+  s.add(3);
+  s.add(1);
+  EXPECT_EQ(s.min(), 1.0);
+  s.add(0.5);  // add after a sorted query
+  EXPECT_EQ(s.min(), 0.5);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bucket 0
+  h.add(9.99);  // bucket 9
+  h.add(-5.0);  // clamps to 0
+  h.add(50.0);  // clamps to 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(10), 10.0);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(Histogram, DegenerateConstruction) {
+  Histogram h(0.0, 0.0, 0);  // coerced to one bucket
+  h.add(123.0);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(99);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace strato::common

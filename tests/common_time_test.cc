@@ -1,0 +1,101 @@
+// SimTime arithmetic, clocks and the token bucket.
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+#include "common/token_bucket.h"
+
+namespace strato::common {
+namespace {
+
+TEST(SimTime, ConstructionAndConversion) {
+  EXPECT_EQ(SimTime::ns(1500).nanos(), 1500);
+  EXPECT_EQ(SimTime::us(2).nanos(), 2000);
+  EXPECT_EQ(SimTime::ms(3).nanos(), 3000000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::ms(250).to_millis(), 250.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::seconds(2.0);
+  const auto b = SimTime::seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).to_seconds(), 6.0);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::seconds(2.5));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::ms(1), SimTime::ms(2));
+  EXPECT_GE(SimTime::seconds(1), SimTime::ms(1000));
+  EXPECT_EQ(SimTime(), SimTime::ns(0));
+  EXPECT_LT(SimTime::seconds(1e6), SimTime::max());
+}
+
+TEST(ManualClock, AdvanceAndSet) {
+  ManualClock clk;
+  EXPECT_EQ(clk.now(), SimTime());
+  clk.advance(SimTime::seconds(2));
+  EXPECT_EQ(clk.now(), SimTime::seconds(2));
+  clk.set(SimTime::seconds(10));
+  EXPECT_EQ(clk.now(), SimTime::seconds(10));
+}
+
+TEST(SteadyClock, MovesForward) {
+  SteadyClock clk;
+  const auto t0 = clk.now();
+  const auto t1 = clk.now();
+  EXPECT_GE(t1, t0);
+}
+
+TEST(TokenBucket, StartsFullAndConsumes) {
+  TokenBucket tb(1000.0, 500.0);  // 1000 B/s, 500 B burst
+  EXPECT_TRUE(tb.try_consume(500, SimTime()));
+  EXPECT_FALSE(tb.try_consume(1, SimTime()));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1000.0, 500.0);
+  ASSERT_TRUE(tb.try_consume(500, SimTime()));
+  // After 0.25 s, 250 tokens are back.
+  EXPECT_TRUE(tb.try_consume(250, SimTime::seconds(0.25)));
+  EXPECT_FALSE(tb.try_consume(100, SimTime::seconds(0.25)));
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(1000.0, 500.0);
+  ASSERT_TRUE(tb.try_consume(500, SimTime()));
+  // A long idle period must not accumulate more than the burst.
+  EXPECT_TRUE(tb.try_consume(500, SimTime::seconds(100)));
+  EXPECT_FALSE(tb.try_consume(1, SimTime::seconds(100)));
+}
+
+TEST(TokenBucket, ReadyAtPredictsAvailability) {
+  TokenBucket tb(1000.0, 1000.0);
+  tb.consume(1000, SimTime());  // drain
+  const SimTime at = tb.ready_at(500, SimTime());
+  EXPECT_NEAR(at.to_seconds(), 0.5, 1e-6);
+  EXPECT_TRUE(tb.try_consume(500, at + SimTime::us(1)));
+}
+
+TEST(TokenBucket, UnconditionalConsumeGoesNegative) {
+  TokenBucket tb(100.0, 100.0);
+  tb.consume(300, SimTime());
+  EXPECT_LT(tb.tokens(), 0.0);
+  // Deficit of 200 at 100 B/s -> 2 s until 0, 3 s until 100 available.
+  EXPECT_NEAR(tb.ready_at(100, SimTime()).to_seconds(), 3.0, 1e-6);
+}
+
+TEST(TokenBucket, RateChangeKeepsCredit) {
+  TokenBucket tb(100.0, 1000.0);
+  tb.consume(1000, SimTime());
+  tb.set_rate(1000.0);
+  EXPECT_DOUBLE_EQ(tb.rate(), 1000.0);
+  EXPECT_TRUE(tb.try_consume(900, SimTime::seconds(1)));
+}
+
+}  // namespace
+}  // namespace strato::common

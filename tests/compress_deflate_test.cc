@@ -1,0 +1,298 @@
+// Bit streams, canonical length-limited Huffman, and the DeflateLz codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "compress/bitstream.h"
+#include "compress/deflate_lz.h"
+#include "compress/framing.h"
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+#include "compress/registry.h"
+#include "corpus/generator.h"
+
+namespace strato::compress {
+namespace {
+
+// --- bit stream ---------------------------------------------------------------
+
+TEST(BitStream, RoundTripVariousWidths) {
+  common::Bytes buf;
+  BitWriter bw(buf);
+  common::Xoshiro256 rng(1);
+  std::vector<std::pair<std::uint32_t, int>> values;
+  for (int i = 0; i < 10000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.below(24));
+    const auto v = static_cast<std::uint32_t>(rng()) &
+                   ((1u << nbits) - 1u);
+    values.emplace_back(v, nbits);
+    bw.write(v, nbits);
+  }
+  bw.finish();
+  BitReader br(buf);
+  for (const auto& [v, nbits] : values) {
+    ASSERT_EQ(br.read(nbits), v);
+  }
+}
+
+TEST(BitStream, PeekSkipEquivalence) {
+  common::Bytes buf;
+  BitWriter bw(buf);
+  bw.write(0b1011, 4);
+  bw.write(0b110, 3);
+  bw.finish();
+  BitReader br(buf);
+  EXPECT_EQ(br.peek(4), 0b1011u);
+  br.skip(4);
+  EXPECT_EQ(br.read(3), 0b110u);
+}
+
+TEST(BitStream, ReadPastEndYieldsZeros) {
+  common::Bytes buf = {0xFF};
+  BitReader br(buf);
+  EXPECT_EQ(br.read(8), 0xFFu);
+  EXPECT_EQ(br.read(8), 0u);  // padding
+}
+
+TEST(BitStream, PartialFinalByteZeroPadded) {
+  common::Bytes buf;
+  BitWriter bw(buf);
+  bw.write(0b1, 1);
+  bw.finish();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0b1);
+}
+
+// --- Huffman ------------------------------------------------------------------
+
+TEST(Huffman, LengthsSatisfyKraft) {
+  common::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freqs(64);
+    for (auto& f : freqs) f = rng.below(1000);
+    const auto lengths = huffman_code_lengths(freqs);
+    double kraft = 0.0;
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+      if (freqs[s] > 0) {
+        ASSERT_GE(lengths[s], 1);
+        ASSERT_LE(lengths[s], kMaxHuffmanBits);
+        kraft += std::pow(0.5, lengths[s]);
+      } else {
+        ASSERT_EQ(lengths[s], 0);
+      }
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-12);
+  }
+}
+
+TEST(Huffman, DegenerateAlphabets) {
+  EXPECT_TRUE(huffman_code_lengths({}).empty());
+  const auto zero = huffman_code_lengths({0, 0, 0});
+  EXPECT_EQ(zero, (std::vector<std::uint8_t>{0, 0, 0}));
+  const auto one = huffman_code_lengths({0, 7, 0});
+  EXPECT_EQ(one, (std::vector<std::uint8_t>{0, 1, 0}));
+  const auto two = huffman_code_lengths({3, 9});
+  EXPECT_EQ(two, (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freqs = {1000, 500, 100, 10, 1};
+  const auto lengths = huffman_code_lengths(freqs);
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    EXPECT_GE(lengths[i], lengths[i - 1]);
+  }
+}
+
+TEST(Huffman, LengthLimitHoldsOnPathologicalFrequencies) {
+  // Fibonacci-like frequencies force deep unbounded trees; the repair
+  // must cap at kMaxHuffmanBits while keeping the code valid.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(a);
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  std::uint64_t kraft = 0;
+  for (const auto l : lengths) {
+    ASSERT_GE(l, 1);
+    ASSERT_LE(l, kMaxHuffmanBits);
+    kraft += (1u << kMaxHuffmanBits) >> l;
+  }
+  EXPECT_LE(kraft, 1u << kMaxHuffmanBits);
+}
+
+TEST(Huffman, EncoderDecoderRoundTrip) {
+  common::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> freqs(300);
+  for (auto& f : freqs) f = rng.below(5000);
+  freqs[7] = 100000;  // strong skew
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder enc(lengths);
+  const HuffmanDecoder dec(lengths);
+
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 50000; ++i) {
+    std::uint32_t s;
+    do {
+      s = static_cast<std::uint32_t>(rng.below(freqs.size()));
+    } while (freqs[s] == 0);
+    symbols.push_back(s);
+  }
+  common::Bytes buf;
+  BitWriter bw(buf);
+  for (const auto s : symbols) enc.encode(bw, s);
+  bw.finish();
+  BitReader br(buf);
+  for (const auto s : symbols) ASSERT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, CompressionApproachesEntropy) {
+  // 90/10 two-symbol source: H = 0.469 bits; Huffman can only reach
+  // 1 bit/symbol with a 2-symbol alphabet, so group into pairs -> 4
+  // symbols, H = 0.94 bits/pair, Huffman ~1.1-1.3 bits/pair.
+  common::Xoshiro256 rng(4);
+  std::vector<std::uint64_t> freqs(4);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t s = (rng.uniform() < 0.9 ? 0 : 1) * 2 +
+                            (rng.uniform() < 0.9 ? 0 : 1);
+    ++freqs[s];
+    symbols.push_back(s);
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder enc(lengths);
+  common::Bytes buf;
+  BitWriter bw(buf);
+  for (const auto s : symbols) enc.encode(bw, s);
+  bw.finish();
+  const double bits_per_symbol =
+      static_cast<double>(buf.size()) * 8.0 / 100000.0;
+  EXPECT_LT(bits_per_symbol, 1.35);
+  EXPECT_GT(bits_per_symbol, 0.90);  // cannot beat entropy
+}
+
+TEST(Huffman, DecoderRejectsOversubscribedCode) {
+  std::vector<std::uint8_t> bad = {1, 1, 1};  // Kraft sum 1.5
+  EXPECT_THROW(HuffmanDecoder dec(bad), CodecError);
+  std::vector<std::uint8_t> too_long = {16, 1};
+  EXPECT_THROW(HuffmanDecoder dec2(too_long), CodecError);
+}
+
+// --- DeflateLz ------------------------------------------------------------------
+
+common::Bytes roundtrip(const Codec& codec, common::ByteSpan src) {
+  common::Bytes comp(codec.max_compressed_size(src.size()));
+  comp.resize(codec.compress(src, comp));
+  common::Bytes back(src.size());
+  codec.decompress(comp, back);
+  return back;
+}
+
+TEST(DeflateLz, EmptyAndTiny) {
+  DeflateLz codec;
+  for (std::size_t n : {0u, 1u, 3u, 17u, 200u}) {
+    common::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    }
+    EXPECT_EQ(roundtrip(codec, data), data) << n;
+  }
+}
+
+class DeflateSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeflateSeeded, CorpusRoundTrips) {
+  DeflateLz codec;
+  for (const auto c :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    auto gen = corpus::make_generator(c, GetParam());
+    const auto data = corpus::take(*gen, 250000);
+    EXPECT_EQ(roundtrip(codec, data), data) << corpus::to_string(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeflateSeeded, ::testing::Values(1, 2, 3, 4));
+
+TEST(DeflateLz, RatioSitsBetweenMediumAndHeavy) {
+  DeflateLz deflate;
+  MediumLz medium;
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 5);
+  const auto data = corpus::take(*gen, 1 << 20);
+  EXPECT_LT(deflate.compress(data).size(), medium.compress(data).size());
+}
+
+TEST(DeflateLz, StoredFallbackBoundsExpansion) {
+  DeflateLz codec;
+  common::Xoshiro256 rng(6);
+  common::Bytes data(50000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const auto comp = codec.compress(data);
+  EXPECT_LE(comp.size(), data.size() + 1);
+  EXPECT_EQ(codec.decompress(comp, data.size()), data);
+}
+
+TEST(DeflateLz, MalformedInputRejected) {
+  DeflateLz codec;
+  common::Bytes out(100);
+  EXPECT_THROW(codec.decompress({}, out), CodecError);
+  const common::Bytes bad = {9, 0, 0, 0};
+  EXPECT_THROW(codec.decompress(bad, out), CodecError);
+  const common::Bytes stored_short = {1, 'x'};
+  EXPECT_THROW(codec.decompress(stored_short, out), CodecError);
+}
+
+TEST(DeflateLz, CorruptionNeverCrashes) {
+  DeflateLz codec;
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 7);
+  const auto data = corpus::take(*gen, 60000);
+  auto comp = codec.compress(data);
+  common::Xoshiro256 rng(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto bad = comp;
+    bad[rng.below(bad.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    common::Bytes out(data.size());
+    try {
+      codec.decompress(bad, out);
+    } catch (const CodecError&) {
+      // structural detection is fine; silent wrong output is caught by
+      // the frame checksum one layer up
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ExtendedRegistry, FiveOrderedRungs) {
+  const auto& reg = CodecRegistry::extended();
+  ASSERT_EQ(reg.level_count(), 5u);
+  EXPECT_EQ(reg.level(3).label, "DEFLATE");
+  EXPECT_EQ(reg.codec_by_id(kCodecDeflateLz).name(), "deflatelz");
+  // Ratio must improve monotonically up the ladder on compressible data.
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 9);
+  const auto data = corpus::take(*gen, 1 << 20);
+  std::size_t prev = data.size() + 1;
+  for (std::size_t l = 0; l < reg.level_count(); ++l) {
+    const auto size = reg.level(l).codec->compress(data).size();
+    EXPECT_LT(size, prev) << reg.level(l).label;
+    prev = size;
+  }
+}
+
+TEST(ExtendedRegistry, FramedBlocksInterop) {
+  // Frames written against the extended registry decode with it, and
+  // frames using only the standard codecs decode with either registry.
+  auto gen = corpus::make_generator(corpus::Compressibility::kHigh, 10);
+  const auto data = corpus::take(*gen, 100000);
+  const auto& ext = CodecRegistry::extended();
+  const auto frame = encode_block(*ext.level(3).codec, 3, data);
+  EXPECT_EQ(decode_block(frame, ext), data);
+  EXPECT_THROW(decode_block(frame, CodecRegistry::standard()), CodecError);
+}
+
+}  // namespace
+}  // namespace strato::compress

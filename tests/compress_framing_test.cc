@@ -1,0 +1,215 @@
+// Block framing: self-contained frames, checksums, stored fallback,
+// incremental assembly under arbitrary chunking, registry resolution.
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "compress/framing.h"
+#include "compress/heavy_lz.h"
+#include "compress/lz77.h"
+#include "compress/registry.h"
+#include "corpus/generator.h"
+
+namespace strato::compress {
+namespace {
+
+const CodecRegistry& reg() { return CodecRegistry::standard(); }
+
+TEST(Registry, StandardLadder) {
+  ASSERT_EQ(reg().level_count(), 4u);
+  EXPECT_EQ(reg().level(0).label, "NO");
+  EXPECT_EQ(reg().level(1).label, "LIGHT");
+  EXPECT_EQ(reg().level(2).label, "MEDIUM");
+  EXPECT_EQ(reg().level(3).label, "HEAVY");
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(reg().level(l).level, static_cast<int>(l));
+    EXPECT_NE(reg().level(l).codec, nullptr);
+  }
+}
+
+TEST(Registry, CodecByIdResolvesAllRegistered) {
+  EXPECT_EQ(reg().codec_by_id(kCodecNull).name(), "null");
+  EXPECT_EQ(reg().codec_by_id(kCodecFastLz).name(), "fastlz");
+  EXPECT_EQ(reg().codec_by_id(kCodecMediumLz).name(), "mediumlz");
+  EXPECT_EQ(reg().codec_by_id(kCodecHeavyLz).name(), "heavylz");
+  EXPECT_THROW((void)reg().codec_by_id(99), CodecError);
+}
+
+TEST(Registry, NullAlwaysResolvableEvenWhenEmpty) {
+  CodecRegistry empty;
+  EXPECT_EQ(empty.codec_by_id(kCodecNull).name(), "null");
+  EXPECT_EQ(empty.level_count(), 0u);
+}
+
+TEST(Framing, HeaderRoundTrip) {
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 1);
+  const auto payload = corpus::take(*gen, 50000);
+  const auto frame = encode_block(*reg().level(1).codec, 1, payload);
+  const FrameHeader hdr = parse_header(frame);
+  EXPECT_EQ(hdr.level, 1);
+  EXPECT_EQ(hdr.codec_id, kCodecFastLz);
+  EXPECT_EQ(hdr.raw_size, payload.size());
+  EXPECT_EQ(hdr.comp_size + kFrameHeaderSize, frame.size());
+  EXPECT_EQ(hdr.checksum, common::xxh64(payload));
+  EXPECT_EQ(decode_block(frame, reg()), payload);
+}
+
+class FramingAllLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(FramingAllLevels, RoundTripAllCorpora) {
+  const int level = GetParam();
+  for (const auto c :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    auto gen = corpus::make_generator(c, 4);
+    const auto payload = corpus::take(*gen, kDefaultBlockSize);
+    const auto frame =
+        encode_block(*reg().level(static_cast<std::size_t>(level)).codec,
+                     static_cast<std::uint8_t>(level), payload);
+    EXPECT_EQ(decode_block(frame, reg()), payload);
+    EXPECT_EQ(parse_header(frame).level, level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, FramingAllLevels, ::testing::Range(0, 4));
+
+TEST(Framing, StoredFallbackOnIncompressible) {
+  common::Xoshiro256 rng(1);
+  common::Bytes payload(4096);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+  // Random data through a real codec: frame must fall back to stored and
+  // never expand beyond header + raw.
+  const auto frame = encode_block(*reg().level(1).codec, 1, payload);
+  const FrameHeader hdr = parse_header(frame);
+  EXPECT_EQ(hdr.codec_id, kCodecNull);  // fallback
+  EXPECT_EQ(hdr.level, 1);              // policy's level is preserved
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+  EXPECT_EQ(decode_block(frame, reg()), payload);
+}
+
+TEST(Framing, EmptyPayload) {
+  const auto frame = encode_block(*reg().level(2).codec, 2, {});
+  EXPECT_EQ(decode_block(frame, reg()).size(), 0u);
+}
+
+TEST(Framing, BadMagicRejected) {
+  auto frame = encode_block(*reg().level(0).codec, 0,
+                            common::as_bytes("payload"));
+  frame[0] ^= 0xFF;
+  EXPECT_THROW(parse_header(frame), CodecError);
+  EXPECT_THROW(decode_block(frame, reg()), CodecError);
+}
+
+TEST(Framing, TruncatedHeaderRejected) {
+  const common::Bytes tiny(kFrameHeaderSize - 1, 0);
+  EXPECT_THROW(parse_header(tiny), CodecError);
+}
+
+TEST(Framing, SizeMismatchRejected) {
+  auto frame = encode_block(*reg().level(1).codec, 1,
+                            common::as_bytes("hello hello hello hello"));
+  frame.push_back(0);  // trailing garbage
+  EXPECT_THROW(decode_block(frame, reg()), CodecError);
+}
+
+TEST(Framing, PayloadCorruptionNeverYieldsWrongBytes) {
+  // The checksum guarantee: a corrupted frame either throws or — when the
+  // flip happens to be output-neutral (e.g. a match offset pointing into
+  // an identical run) — still decodes to the exact original payload.
+  // Silently wrong output must be impossible.
+  auto gen = corpus::make_generator(corpus::Compressibility::kHigh, 2);
+  const auto payload = corpus::take(*gen, 20000);
+  common::Xoshiro256 rng(9);
+  int detected = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto frame = encode_block(*reg().level(1).codec, 1, payload);
+    // Corrupt a random payload byte (past the header).
+    const std::size_t pos =
+        kFrameHeaderSize + rng.below(frame.size() - kFrameHeaderSize);
+    frame[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      const auto out = decode_block(frame, reg());
+      EXPECT_EQ(out, payload) << "trial " << trial;
+    } catch (const CodecError&) {
+      ++detected;
+    }
+  }
+  EXPECT_GT(detected, 25);  // the vast majority of flips are detected
+}
+
+TEST(Framing, ChecksumFieldCorruptionCaught) {
+  const auto payload = common::as_bytes("some payload bytes here");
+  auto frame = encode_block(*reg().level(0).codec, 0, payload);
+  frame[16] ^= 1;  // checksum field
+  EXPECT_THROW(decode_block(frame, reg()), CodecError);
+}
+
+// --- FrameAssembler -----------------------------------------------------------
+
+TEST(FrameAssembler, MultipleBlocksAtOnce) {
+  FrameAssembler asm_(reg());
+  common::Bytes wire;
+  std::vector<common::Bytes> payloads;
+  for (int i = 0; i < 5; ++i) {
+    auto gen = corpus::make_generator(corpus::Compressibility::kModerate,
+                                      static_cast<std::uint64_t>(i + 1));
+    payloads.push_back(corpus::take(*gen, 10000 + i * 777));
+    const auto frame = encode_block(*reg().level(1).codec, 1, payloads.back());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  asm_.feed(wire);
+  for (const auto& expected : payloads) {
+    const auto block = asm_.next_block();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(*block, expected);
+    EXPECT_EQ(asm_.last_header().level, 1);
+  }
+  EXPECT_FALSE(asm_.next_block().has_value());
+  EXPECT_EQ(asm_.pending(), 0u);
+}
+
+class AssemblerChunking : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssemblerChunking, ArbitraryChunkingReassembles) {
+  common::Xoshiro256 rng(GetParam());
+  FrameAssembler asm_(reg());
+  common::Bytes wire;
+  std::vector<common::Bytes> payloads;
+  for (int i = 0; i < 8; ++i) {
+    auto gen = corpus::make_generator(
+        static_cast<corpus::Compressibility>(rng.below(3)), rng());
+    payloads.push_back(corpus::take(*gen, 1 + rng.below(60000)));
+    const int level = 1 + static_cast<int>(rng.below(3));
+    const auto frame =
+        encode_block(*reg().level(static_cast<std::size_t>(level)).codec,
+                     static_cast<std::uint8_t>(level), payloads.back());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  std::size_t got = 0;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.below(4096), wire.size() - off);
+    asm_.feed(common::ByteSpan(wire.data() + off, n));
+    off += n;
+    while (auto block = asm_.next_block()) {
+      ASSERT_LT(got, payloads.size());
+      EXPECT_EQ(*block, payloads[got]);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, payloads.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerChunking,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(FrameAssembler, GarbageInputThrows) {
+  FrameAssembler asm_(reg());
+  common::Bytes garbage(100, 0xAA);
+  asm_.feed(garbage);
+  EXPECT_THROW(asm_.next_block(), CodecError);
+}
+
+}  // namespace
+}  // namespace strato::compress

@@ -1,0 +1,200 @@
+// LZ77 engine (FastLz / MediumLz): round trips, format edge cases,
+// malformed-input rejection, effort-level ordering.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lz77.h"
+#include "corpus/generator.h"
+
+namespace strato::compress {
+namespace {
+
+common::Bytes roundtrip(const Codec& codec, common::ByteSpan src) {
+  common::Bytes comp(codec.max_compressed_size(src.size()));
+  const std::size_t n = codec.compress(src, comp);
+  EXPECT_LE(n, codec.max_compressed_size(src.size()));
+  comp.resize(n);
+  common::Bytes back(src.size());
+  EXPECT_EQ(codec.decompress(comp, back), src.size());
+  return back;
+}
+
+template <typename CodecT>
+class LzRoundTrip : public ::testing::Test {
+ protected:
+  CodecT codec;
+};
+using LzCodecs = ::testing::Types<FastLz, MediumLz>;
+TYPED_TEST_SUITE(LzRoundTrip, LzCodecs);
+
+TYPED_TEST(LzRoundTrip, EmptyInput) {
+  const common::Bytes empty;
+  EXPECT_EQ(roundtrip(this->codec, empty), empty);
+}
+
+TYPED_TEST(LzRoundTrip, TinyInputs) {
+  for (std::size_t n = 1; n <= 32; ++n) {
+    common::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 37);
+    }
+    EXPECT_EQ(roundtrip(this->codec, data), data) << "n=" << n;
+  }
+}
+
+TYPED_TEST(LzRoundTrip, AllZeros) {
+  const common::Bytes data(200000, 0);
+  EXPECT_EQ(roundtrip(this->codec, data), data);
+  // Runs must compress dramatically.
+  EXPECT_LT(this->codec.compress(data).size(), data.size() / 50);
+}
+
+TYPED_TEST(LzRoundTrip, PeriodicPattern) {
+  common::Bytes data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>("abcdefg"[i % 7]);
+  }
+  EXPECT_EQ(roundtrip(this->codec, data), data);
+}
+
+TYPED_TEST(LzRoundTrip, RandomIncompressibleFitsBound) {
+  common::Xoshiro256 rng(3);
+  common::Bytes data(131072);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const auto comp = this->codec.compress(data);
+  EXPECT_EQ(roundtrip(this->codec, data), data);
+  EXPECT_LE(comp.size(), lz77_max_compressed_size(data.size()));
+}
+
+TYPED_TEST(LzRoundTrip, AllCorpora) {
+  for (const auto c :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    auto gen = corpus::make_generator(c, 11);
+    const auto data = corpus::take(*gen, 300000);
+    EXPECT_EQ(roundtrip(this->codec, data), data) << corpus::to_string(c);
+  }
+}
+
+TYPED_TEST(LzRoundTrip, LongMatchExtensions) {
+  // > 15+255 literals then > 15+255 match bytes forces both extension
+  // paths of the token format.
+  common::Xoshiro256 rng(5);
+  common::Bytes data;
+  for (int i = 0; i < 600; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng()));
+  }
+  const common::Bytes run(1000, 0x55);
+  data.insert(data.end(), run.begin(), run.end());
+  data.insert(data.end(), run.begin(), run.end());
+  EXPECT_EQ(roundtrip(this->codec, data), data);
+}
+
+class SeededRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededRoundTrip, MixedStructuredRandom) {
+  // Property: any byte string round-trips. Build adversarial mixes of
+  // runs, copies and noise.
+  common::Xoshiro256 rng(GetParam());
+  common::Bytes data;
+  while (data.size() < 150000) {
+    switch (rng.below(4)) {
+      case 0: {  // run
+        data.insert(data.end(), 1 + rng.below(500),
+                    static_cast<std::uint8_t>(rng()));
+        break;
+      }
+      case 1: {  // noise
+        const std::size_t n = 1 + rng.below(300);
+        for (std::size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+      case 2: {  // near copy from earlier
+        if (data.empty()) break;
+        const std::size_t start = rng.below(data.size());
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.below(800), data.size() - start);
+        for (std::size_t i = 0; i < n; ++i) {
+          data.push_back(data[start + i]);
+        }
+        break;
+      }
+      default: {  // single byte
+        data.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+      }
+    }
+  }
+  FastLz fast;
+  MediumLz medium;
+  EXPECT_EQ(roundtrip(fast, data), data);
+  EXPECT_EQ(roundtrip(medium, data), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(LzFormat, MediumNeverWorseRatioThanFastOnStructuredData) {
+  for (const auto c :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate}) {
+    auto gen = corpus::make_generator(c, 2);
+    const auto data = corpus::take(*gen, 1 << 20);
+    FastLz fast;
+    MediumLz medium;
+    EXPECT_LE(medium.compress(data).size(), fast.compress(data).size())
+        << corpus::to_string(c);
+  }
+}
+
+// --- malformed input ---------------------------------------------------------
+
+TEST(LzMalformed, TruncatedStream) {
+  FastLz codec;
+  common::Bytes data(10000, 0x11);
+  auto comp = codec.compress(data);
+  common::Bytes out(data.size());
+  for (const std::size_t cut : {comp.size() / 2, comp.size() - 1}) {
+    EXPECT_THROW(
+        codec.decompress(common::ByteSpan(comp.data(), cut), out),
+        CodecError);
+  }
+}
+
+TEST(LzMalformed, ZeroOffsetRejected) {
+  // token: 1 literal + match; offset 0 is invalid.
+  const common::Bytes bogus = {0x10 | 0x0, 'x', 0x00, 0x00};
+  common::Bytes out(100);
+  EXPECT_THROW(lz77_decompress(bogus, out), CodecError);
+}
+
+TEST(LzMalformed, OffsetBeforeBlockStart) {
+  // 1 literal then a match at distance 5 (only 1 byte of history).
+  const common::Bytes bogus = {0x10, 'x', 0x05, 0x00};
+  common::Bytes out(100);
+  EXPECT_THROW(lz77_decompress(bogus, out), CodecError);
+}
+
+TEST(LzMalformed, OutputSizeMismatch) {
+  FastLz codec;
+  common::Bytes data(1000, 0x22);
+  const auto comp = codec.compress(data);
+  common::Bytes small(data.size() - 1);
+  EXPECT_THROW(codec.decompress(comp, small), CodecError);
+  common::Bytes big(data.size() + 1);
+  EXPECT_THROW(codec.decompress(comp, big), CodecError);
+}
+
+TEST(LzMalformed, EmptyInputNonEmptyOutput) {
+  common::Bytes out(5);
+  EXPECT_THROW(lz77_decompress({}, out), CodecError);
+}
+
+TEST(LzFormat, MaxCompressedSizeIsMonotone) {
+  EXPECT_GE(lz77_max_compressed_size(1000), 1000u);
+  EXPECT_GT(lz77_max_compressed_size(2000), lz77_max_compressed_size(1000));
+}
+
+}  // namespace
+}  // namespace strato::compress

@@ -1,0 +1,147 @@
+// Differential test of Algorithm 1.
+//
+// A second, deliberately naive transcription of the paper's pseudo code
+// (plus the explicitly stated out-of-algorithm bookkeeping: pdr update,
+// inc update, first-call pdr=cdr, and the repository's documented
+// boundary clamping) is executed side by side with the production
+// AdaptiveController over long random rate traces. Any divergence in
+// chosen levels or backoff state is a bug in one of the two.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+
+namespace strato::core {
+namespace {
+
+/// Literal transcription of the paper's Algorithm 1 + Table I state.
+class ReferenceAlgorithm1 {
+ public:
+  explicit ReferenceAlgorithm1(int num_levels, double alpha)
+      : n_(num_levels), alpha_(alpha), bck_(num_levels, 0) {}
+
+  int step(double rate) {
+    // Table I: "On the first call of the decision algorithm, pdr is set
+    // to cdr."
+    const double cdr = rate;
+    if (first_) {
+      pdr_ = cdr;
+      first_ = false;
+    }
+
+    // --- Algorithm 1, lines 1-28 ---
+    const double d = cdr - pdr_;                    // line 1
+    c_ = c_ + 1;                                    // line 2
+    int ncl = ccl_;                                 // line 3
+    if (std::fabs(d) <= alpha_ * pdr_) {            // line 4
+      if (c_ >= (1LL << bck_[ccl_])) {              // line 6
+        if (inc_) {                                 // line 7
+          ncl = ncl + 1;                            // line 8
+        } else {
+          ncl = ncl - 1;                            // line 10
+        }
+        // Boundary handling (documented in DESIGN.md: flip direction).
+        if (n_ == 1) {
+          ncl = 0;
+        } else if (ncl < 0) {
+          ncl = 1;
+        } else if (ncl >= n_) {
+          ncl = n_ - 2;
+        }
+        c_ = 0;                                     // line 12
+      }
+    } else if (d > 0) {                             // line 15
+      bck_[ccl_] = std::min(bck_[ccl_] + 1, 30);    // line 16
+      c_ = 0;                                       // line 17
+    } else {                                        // line 19
+      bck_[ccl_] = 0;                               // line 20
+      if (inc_) {                                   // line 21
+        ncl = ccl_ - 1;                             // line 22
+      } else {
+        ncl = ccl_ + 1;                             // line 24
+      }
+      if (ncl < 0) ncl = 0;                         // clamp (no flip)
+      if (ncl >= n_) ncl = n_ - 1;
+      c_ = 0;                                       // line 26
+    }
+    // "inc is usually updated outside of the displayed algorithm
+    // depending on the input parameter ccl and the return value ncl."
+    if (ncl > ccl_) inc_ = true;
+    if (ncl < ccl_) inc_ = false;
+    pdr_ = cdr;
+    ccl_ = ncl;
+    return ncl;
+  }
+
+  [[nodiscard]] int backoff(int level) const { return bck_[level]; }
+  [[nodiscard]] bool inc() const { return inc_; }
+
+ private:
+  int n_;
+  double alpha_;
+  int ccl_ = 0;
+  long long c_ = 0;
+  bool inc_ = true;
+  std::vector<int> bck_;
+  double pdr_ = 0.0;
+  bool first_ = true;
+};
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, ReferenceAndProductionAgreeOnRandomTraces) {
+  common::Xoshiro256 rng(GetParam());
+  const int levels = 2 + static_cast<int>(rng.below(5));
+  const double alpha = rng.uniform(0.05, 0.4);
+
+  AdaptiveConfig cfg;
+  cfg.num_levels = levels;
+  cfg.alpha = alpha;
+  AdaptiveController production(cfg);
+  ReferenceAlgorithm1 reference(levels, alpha);
+
+  double rate = 1e6;
+  for (int w = 0; w < 5000; ++w) {
+    // Random walk with occasional regime jumps (level changes cause them
+    // in reality).
+    if (rng.below(20) == 0) {
+      rate = rng.uniform(1e5, 1e8);
+    } else {
+      rate = std::max(1.0, rate * rng.uniform(0.75, 1.35));
+    }
+    const int want = reference.step(rate);
+    const Decision got = production.on_window(rate);
+    ASSERT_EQ(got.level, want) << "window " << w;
+    for (int l = 0; l < levels; ++l) {
+      ASSERT_EQ(production.backoff(l), reference.backoff(l))
+          << "window " << w << " level " << l;
+    }
+    ASSERT_EQ(production.increasing(), reference.inc()) << "window " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Differential, PaperWorkedExample) {
+  // A hand-checkable trace: rates that make level 1 the clear optimum.
+  // Annotated against the pseudo code.
+  ReferenceAlgorithm1 ref(4, 0.2);
+  AdaptiveController prod([] {
+    AdaptiveConfig cfg;
+    cfg.num_levels = 4;
+    cfg.alpha = 0.2;
+    return cfg;
+  }());
+  const double trace[] = {100, 250, 120, 250, 250, 250, 250, 250,
+                          250, 250, 250, 250, 250, 250, 250};
+  for (const double r : trace) {
+    EXPECT_EQ(prod.on_window(r).level, ref.step(r));
+  }
+}
+
+}  // namespace
+}  // namespace strato::core

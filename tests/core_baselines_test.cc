@@ -1,0 +1,141 @@
+// Related-work baseline policies: the metric-driven model (and how skewed
+// VM metrics fool it — the paper's Section II point) and the queue model.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+
+namespace strato::core {
+namespace {
+
+using common::SimTime;
+
+/// Scriptable metrics for tests.
+class FakeMetrics final : public SystemMetricsProvider {
+ public:
+  double idle = 1.0;
+  double bandwidth = 100e6;
+  [[nodiscard]] double displayed_cpu_idle() const override { return idle; }
+  [[nodiscard]] double displayed_bandwidth() const override {
+    return bandwidth;
+  }
+};
+
+/// The ladder the tests reason about: level 1 compresses 4x at 200 MB/s,
+/// level 2 compresses 10x at 30 MB/s.
+std::vector<TrainedLevelModel> ladder() {
+  return {
+      {12e9, 1.0},    // NO
+      {200e6, 0.25},  // LIGHT
+      {30e6, 0.10},   // MEDIUM-ish
+  };
+}
+
+TEST(MetricDriven, PicksNoCompressionOnFastLink) {
+  FakeMetrics m;
+  m.bandwidth = 10e9;  // link much faster than any codec
+  MetricDrivenPolicy p(ladder(), m, SimTime::seconds(1));
+  p.on_block(1000, SimTime::seconds(0));  // first call decides immediately
+  EXPECT_EQ(p.level(), 0);
+}
+
+TEST(MetricDriven, PicksLightOnSlowLinkWithIdleCpu) {
+  FakeMetrics m;
+  m.bandwidth = 20e6;  // 20 MB/s link
+  m.idle = 1.0;
+  // costs: NO: 1/20e6; LIGHT: max(1/200e6, 0.25/20e6)=1/80e6 (best);
+  // HEAVY-ish: max(1/30e6, 0.1/20e6)=1/30e6.
+  MetricDrivenPolicy p(ladder(), m, SimTime::seconds(1));
+  p.on_block(1000, SimTime::seconds(0));
+  EXPECT_EQ(p.level(), 1);
+}
+
+TEST(MetricDriven, PicksHeavyOnVerySlowLink) {
+  FakeMetrics m;
+  m.bandwidth = 1e6;  // 1 MB/s: ratio dominates everything
+  MetricDrivenPolicy p(ladder(), m, SimTime::seconds(1));
+  p.on_block(1000, SimTime::seconds(0));
+  EXPECT_EQ(p.level(), 2);
+}
+
+TEST(MetricDriven, SkewedCpuDisplayCausesWrongChoice) {
+  // The paper's core observation: the guest displays a nearly idle CPU
+  // while the host-side truth is saturation. Believing idle=0.95 on a
+  // 20 MB/s link picks LIGHT (as above) — but if the metrics displayed
+  // the truth (idle=0.05) the same model would refuse to compress.
+  FakeMetrics skewed;
+  skewed.bandwidth = 20e6;
+  skewed.idle = 0.95;
+  MetricDrivenPolicy believing(ladder(), skewed, SimTime::seconds(1));
+  believing.on_block(1, SimTime::seconds(0));
+  EXPECT_EQ(believing.level(), 1);
+
+  FakeMetrics truthful;
+  truthful.bandwidth = 20e6;
+  truthful.idle = 0.05;  // compression would run 20x slower
+  MetricDrivenPolicy honest(ladder(), truthful, SimTime::seconds(1));
+  honest.on_block(1, SimTime::seconds(0));
+  EXPECT_EQ(honest.level(), 0);
+}
+
+TEST(MetricDriven, ReevaluatesOnPeriodOnly) {
+  FakeMetrics m;
+  m.bandwidth = 10e9;
+  MetricDrivenPolicy p(ladder(), m, SimTime::seconds(2));
+  p.on_block(1, SimTime::seconds(0));
+  EXPECT_EQ(p.level(), 0);
+  m.bandwidth = 1e6;  // world changed...
+  p.on_block(1, SimTime::seconds(1));
+  EXPECT_EQ(p.level(), 0);  // ...but the period has not elapsed
+  p.on_block(1, SimTime::seconds(2.5));
+  EXPECT_EQ(p.level(), 2);  // now it reacts
+}
+
+TEST(QueuePolicy, RaisesOnGrowingQueue) {
+  double fill = 0.1;
+  QueuePolicy p([&] { return fill; }, 4, SimTime::seconds(1));
+  p.on_block(1, SimTime::seconds(0));  // baseline sample
+  fill = 0.5;
+  p.on_block(1, SimTime::seconds(1.5));
+  EXPECT_EQ(p.level(), 1);
+  fill = 0.9;
+  p.on_block(1, SimTime::seconds(3));
+  EXPECT_EQ(p.level(), 2);
+}
+
+TEST(QueuePolicy, LowersOnDrainingQueue) {
+  double fill = 0.9;
+  QueuePolicy p([&] { return fill; }, 4, SimTime::seconds(1));
+  p.on_block(1, SimTime::seconds(0));
+  fill = 0.8;
+  p.on_block(1, SimTime::seconds(1.5));  // rising? no: falling
+  EXPECT_EQ(p.level(), 0);               // already at floor, stays clamped
+  fill = 0.95;
+  p.on_block(1, SimTime::seconds(3));
+  EXPECT_EQ(p.level(), 1);
+  fill = 0.2;
+  p.on_block(1, SimTime::seconds(4.5));
+  EXPECT_EQ(p.level(), 0);
+}
+
+TEST(QueuePolicy, DeadbandIgnoresNoise) {
+  double fill = 0.5;
+  QueuePolicy p([&] { return fill; }, 4, SimTime::seconds(1), 0.1);
+  p.on_block(1, SimTime::seconds(0));
+  fill = 0.55;  // within deadband
+  p.on_block(1, SimTime::seconds(1.5));
+  EXPECT_EQ(p.level(), 0);
+}
+
+TEST(QueuePolicy, ClampsAtLadderTop) {
+  double fill = 0.0;
+  QueuePolicy p([&] { return fill; }, 2, SimTime::seconds(1));
+  p.on_block(1, SimTime::seconds(0));
+  for (int i = 1; i < 10; ++i) {
+    fill = std::min(1.0, fill + 0.3);
+    p.on_block(1, SimTime::seconds(1.0 + 1.1 * i));
+  }
+  EXPECT_EQ(p.level(), 1);  // num_levels - 1
+}
+
+}  // namespace
+}  // namespace strato::core

@@ -1,0 +1,125 @@
+// RateMeter and the policy layer (static + adaptive).
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "core/rate_meter.h"
+
+namespace strato::core {
+namespace {
+
+using common::SimTime;
+
+TEST(RateMeter, NoWindowBeforeFirstBytes) {
+  RateMeter m(SimTime::seconds(2));
+  EXPECT_FALSE(m.poll(SimTime::seconds(100)).has_value());
+}
+
+TEST(RateMeter, ClosesWindowAfterT) {
+  RateMeter m(SimTime::seconds(2));
+  m.on_bytes(1000, SimTime::seconds(0));
+  m.on_bytes(1000, SimTime::seconds(1));
+  EXPECT_FALSE(m.poll(SimTime::seconds(1.5)).has_value());
+  const auto rate = m.poll(SimTime::seconds(2));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 1000.0, 1e-9);  // 2000 bytes over 2 s
+}
+
+TEST(RateMeter, UsesActualElapsedTime) {
+  // A late poll divides by the true elapsed span, not the nominal t.
+  RateMeter m(SimTime::seconds(2));
+  m.on_bytes(4000, SimTime::seconds(0));
+  const auto rate = m.poll(SimTime::seconds(4));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 1000.0, 1e-9);
+}
+
+TEST(RateMeter, WindowsAreConsecutive) {
+  // The first window starts at the first on_bytes() call.
+  RateMeter m(SimTime::seconds(1));
+  m.on_bytes(100, SimTime::seconds(0.5));
+  EXPECT_FALSE(m.poll(SimTime::seconds(1)).has_value());  // only 0.5 s in
+  ASSERT_TRUE(m.poll(SimTime::seconds(1.5)).has_value());
+  m.on_bytes(500, SimTime::seconds(2.0));
+  const auto rate = m.poll(SimTime::seconds(2.5));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 500.0, 1e-9);  // only the second window's bytes
+  EXPECT_EQ(m.total_bytes(), 600u);
+}
+
+TEST(RateMeter, ResetClearsEverything) {
+  RateMeter m(SimTime::seconds(1));
+  m.on_bytes(100, SimTime::seconds(0));
+  m.reset();
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_FALSE(m.poll(SimTime::seconds(10)).has_value());
+}
+
+TEST(StaticPolicy, FixedLevelAndName) {
+  StaticPolicy p(2, "MEDIUM");
+  EXPECT_EQ(p.level(), 2);
+  EXPECT_EQ(p.name(), "MEDIUM");
+  p.on_block(1000, SimTime::seconds(1));
+  EXPECT_EQ(p.level(), 2);
+}
+
+TEST(AdaptivePolicy, StartsAtLevelZero) {
+  AdaptivePolicy p(AdaptiveConfig{}, SimTime::seconds(2));
+  EXPECT_EQ(p.level(), 0);
+  EXPECT_EQ(p.name(), "DYNAMIC");
+}
+
+TEST(AdaptivePolicy, DecidesOncePerWindow) {
+  AdaptivePolicy p(AdaptiveConfig{}, SimTime::seconds(2));
+  int decisions = 0;
+  p.set_trace([&](SimTime, double, const Decision&) { ++decisions; });
+  // Feed 10 s of steady data in 0.1 s blocks.
+  for (int i = 0; i <= 100; ++i) {
+    p.on_block(100000, SimTime::seconds(0.1 * i));
+  }
+  EXPECT_EQ(decisions, 5);  // one per 2-second window
+}
+
+TEST(AdaptivePolicy, TraceSeesApplicationRate) {
+  AdaptivePolicy p(AdaptiveConfig{}, SimTime::seconds(1));
+  double seen_rate = -1;
+  p.set_trace([&](SimTime, double cdr, const Decision&) { seen_rate = cdr; });
+  p.on_block(500000, SimTime::seconds(0));
+  p.on_block(500000, SimTime::seconds(1));  // closes window: 1 MB / 1 s
+  EXPECT_NEAR(seen_rate, 1e6, 1e-3);
+}
+
+TEST(AdaptivePolicy, ProbesFromLevelZeroOnStableRate) {
+  AdaptivePolicy p(AdaptiveConfig{}, SimTime::seconds(1));
+  for (int i = 0; i <= 40; ++i) {
+    p.on_block(100000, SimTime::seconds(0.25 * i));
+  }
+  // With a perfectly stable rate the controller keeps probing; the level
+  // must have moved off 0 at some point (and stays within the ladder).
+  EXPECT_GE(p.controller().level(), 0);
+  EXPECT_LT(p.controller().level(), 4);
+  EXPECT_GT(p.meter().total_bytes(), 0u);
+}
+
+TEST(AdaptivePolicy, LevelRespondsToRateCollapse) {
+  // Simulate: level 0 gives 100 MB/s; any compression level collapses the
+  // app rate. The policy must spend most of its time at level 0.
+  AdaptiveConfig cfg;
+  cfg.alpha = 0.2;
+  AdaptivePolicy p(cfg, SimTime::seconds(1));
+  double t = 0;
+  int at_zero = 0, windows = 0;
+  for (int w = 0; w < 100; ++w) {
+    const double rate = p.level() == 0 ? 100e6 : 20e6;
+    // 10 blocks per window of `rate` bytes/s.
+    for (int b = 0; b < 10; ++b) {
+      p.on_block(static_cast<std::size_t>(rate / 10), SimTime::seconds(t));
+      t += 0.1;
+    }
+    ++windows;
+    if (p.level() == 0) ++at_zero;
+  }
+  EXPECT_GT(at_zero, windows / 2);
+}
+
+}  // namespace
+}  // namespace strato::core

@@ -1,0 +1,208 @@
+// JobGraph validation and the Executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "dataflow/executor.h"
+
+namespace strato::dataflow {
+namespace {
+
+/// Emits `count` copies of a fixed payload.
+class SourceTask final : public Task {
+ public:
+  SourceTask(int count, std::string payload)
+      : count_(count), payload_(std::move(payload)) {}
+  void run(TaskContext& ctx) override {
+    for (int i = 0; i < count_; ++i) {
+      ctx.output(0).emit(common::as_bytes(payload_));
+    }
+  }
+
+ private:
+  int count_;
+  std::string payload_;
+};
+
+/// Forwards records, uppercasing ASCII letters.
+class UpperTask final : public Task {
+ public:
+  void run(TaskContext& ctx) override {
+    while (auto rec = ctx.input(0).next()) {
+      for (auto& b : *rec) {
+        if (b >= 'a' && b <= 'z') b = static_cast<std::uint8_t>(b - 32);
+      }
+      ctx.output(0).emit(*rec);
+    }
+  }
+};
+
+/// Counts records and bytes.
+class SinkTask final : public Task {
+ public:
+  explicit SinkTask(std::atomic<int>& count) : count_(count) {}
+  void run(TaskContext& ctx) override {
+    for (std::size_t i = 0; i < ctx.num_inputs(); ++i) {
+      while (auto rec = ctx.input(i).next()) count_.fetch_add(1);
+    }
+  }
+
+ private:
+  std::atomic<int>& count_;
+};
+
+class FailingTask final : public Task {
+ public:
+  void run(TaskContext&) override { throw std::runtime_error("task failed"); }
+};
+
+TEST(JobGraph, TopologicalOrderRespectsEdges) {
+  JobGraph g;
+  const int a = g.add_vertex("a", [] { return nullptr; });
+  const int b = g.add_vertex("b", [] { return nullptr; });
+  const int c = g.add_vertex("c", [] { return nullptr; });
+  g.connect(a, b, ChannelType::kInMemory);
+  g.connect(b, c, ChannelType::kInMemory);
+  g.connect(a, c, ChannelType::kInMemory);
+  EXPECT_TRUE(g.is_dag());
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(JobGraph, DetectsCycle) {
+  JobGraph g;
+  const int a = g.add_vertex("a", [] { return nullptr; });
+  const int b = g.add_vertex("b", [] { return nullptr; });
+  g.connect(a, b, ChannelType::kInMemory);
+  g.connect(b, a, ChannelType::kInMemory);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.topo_order(), std::runtime_error);
+}
+
+TEST(JobGraph, RejectsBadEdges) {
+  JobGraph g;
+  const int a = g.add_vertex("a", [] { return nullptr; });
+  EXPECT_THROW(g.connect(a, a, ChannelType::kInMemory),
+               std::invalid_argument);
+  EXPECT_THROW(g.connect(a, 7, ChannelType::kInMemory), std::out_of_range);
+  EXPECT_THROW(g.connect(-1, a, ChannelType::kInMemory), std::out_of_range);
+}
+
+TEST(Executor, LinearPipelineInMemory) {
+  std::atomic<int> received{0};
+  JobGraph g;
+  const int src = g.add_vertex(
+      "src", [] { return std::make_unique<SourceTask>(500, "record"); });
+  const int mid = g.add_vertex("upper", [] {
+    return std::make_unique<UpperTask>();
+  });
+  const int dst = g.add_vertex(
+      "sink", [&] { return std::make_unique<SinkTask>(received); });
+  g.connect(src, mid, ChannelType::kInMemory);
+  g.connect(mid, dst, ChannelType::kInMemory);
+
+  Executor exec;
+  const auto stats = exec.execute(g);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(received.load(), 500);
+  ASSERT_EQ(stats.channels.size(), 2u);
+  EXPECT_EQ(stats.channels[0].records, 500u);
+  EXPECT_EQ(stats.channels[1].records, 500u);
+}
+
+TEST(Executor, NetworkEdgeWithAdaptiveCompression) {
+  std::atomic<int> received{0};
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    return std::make_unique<SourceTask>(2000,
+                                        std::string(1000, 'x'));  // repetitive
+  });
+  const int dst = g.add_vertex(
+      "sink", [&] { return std::make_unique<SinkTask>(received); });
+  g.connect(src, dst, ChannelType::kNetwork,
+            CompressionSpec::adaptive_default(common::SimTime::ms(20)));
+
+  ExecutorConfig cfg;
+  cfg.shared_link_bytes_s = 200e6;
+  Executor exec(cfg);
+  const auto stats = exec.execute(g);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(received.load(), 2000);
+  EXPECT_EQ(stats.channels[0].raw_bytes, 2000u * 1004u);
+}
+
+TEST(Executor, FanOutFanIn) {
+  std::atomic<int> received{0};
+  JobGraph g;
+  const int src = g.add_vertex(
+      "src", [] { return std::make_unique<SourceTask>(300, "fan"); });
+  const int up = g.add_vertex("upper", [] {
+    return std::make_unique<UpperTask>();
+  });
+  const int dst = g.add_vertex(
+      "sink", [&] { return std::make_unique<SinkTask>(received); });
+  // src -> upper -> sink plus a direct src -> sink edge. The source only
+  // writes to output(0); use a second source for the direct edge instead.
+  const int src2 = g.add_vertex(
+      "src2", [] { return std::make_unique<SourceTask>(200, "direct"); });
+  g.connect(src, up, ChannelType::kInMemory);
+  g.connect(up, dst, ChannelType::kInMemory);
+  g.connect(src2, dst, ChannelType::kInMemory);
+
+  Executor exec;
+  const auto stats = exec.execute(g);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(received.load(), 500);
+}
+
+TEST(Executor, FileEdgeSequencesWriterBeforeReader) {
+  std::atomic<int> received{0};
+  JobGraph g;
+  const int src = g.add_vertex(
+      "src", [] { return std::make_unique<SourceTask>(100, "spilled"); });
+  const int dst = g.add_vertex(
+      "sink", [&] { return std::make_unique<SinkTask>(received); });
+  g.connect(src, dst, ChannelType::kFile, CompressionSpec::fixed(1));
+
+  Executor exec;
+  const auto stats = exec.execute(g);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(received.load(), 100);
+}
+
+TEST(Executor, TaskFailureIsReportedAndJobTerminates) {
+  std::atomic<int> received{0};
+  JobGraph g;
+  const int bad = g.add_vertex("bad", [] {
+    return std::make_unique<FailingTask>();
+  });
+  const int dst = g.add_vertex(
+      "sink", [&] { return std::make_unique<SinkTask>(received); });
+  g.connect(bad, dst, ChannelType::kInMemory);
+
+  Executor exec;
+  const auto stats = exec.execute(g);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_NE(stats.error.find("bad"), std::string::npos);
+  EXPECT_NE(stats.error.find("task failed"), std::string::npos);
+  EXPECT_EQ(received.load(), 0);  // sink saw EOF, not a hang
+}
+
+TEST(Executor, CyclicGraphRefused) {
+  JobGraph g;
+  const int a = g.add_vertex("a", [] { return nullptr; });
+  const int b = g.add_vertex("b", [] { return nullptr; });
+  g.connect(a, b, ChannelType::kInMemory);
+  g.connect(b, a, ChannelType::kInMemory);
+  Executor exec;
+  EXPECT_FALSE(exec.execute(g).ok());
+}
+
+}  // namespace
+}  // namespace strato::dataflow

@@ -1,0 +1,102 @@
+// Record serialization and incremental reassembly.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataflow/record.h"
+
+namespace strato::dataflow {
+namespace {
+
+TEST(Record, AppendAndParseSingle) {
+  common::Bytes wire;
+  append_record(wire, common::as_bytes("hello"));
+  EXPECT_EQ(wire.size(), 4u + 5u);
+  RecordAssembler ra;
+  ra.feed(wire);
+  const auto rec = ra.next_record();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(common::to_string(*rec), "hello");
+  EXPECT_FALSE(ra.next_record().has_value());
+  EXPECT_TRUE(ra.drained());
+}
+
+TEST(Record, EmptyPayloadIsValid) {
+  common::Bytes wire;
+  append_record(wire, {});
+  RecordAssembler ra;
+  ra.feed(wire);
+  const auto rec = ra.next_record();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->empty());
+}
+
+TEST(Record, ManyRecordsKeepOrderAndContent) {
+  common::Xoshiro256 rng(1);
+  common::Bytes wire;
+  std::vector<common::Bytes> expected;
+  for (int i = 0; i < 200; ++i) {
+    common::Bytes payload(rng.below(2000));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    append_record(wire, payload);
+    expected.push_back(std::move(payload));
+  }
+  RecordAssembler ra;
+  ra.feed(wire);
+  for (const auto& want : expected) {
+    const auto got = ra.next_record();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_TRUE(ra.drained());
+}
+
+class RecordChunking : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecordChunking, ByteAtATimeAndRandomChunks) {
+  common::Xoshiro256 rng(GetParam());
+  common::Bytes wire;
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 50; ++i) {
+    common::Bytes payload(rng.below(5000));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    sizes.push_back(payload.size());
+    append_record(wire, payload);
+  }
+  RecordAssembler ra;
+  std::size_t got = 0;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.below(97), wire.size() - off);
+    ra.feed(common::ByteSpan(wire.data() + off, n));
+    off += n;
+    while (auto rec = ra.next_record()) {
+      ASSERT_LT(got, sizes.size());
+      EXPECT_EQ(rec->size(), sizes[got]);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, sizes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordChunking,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Record, PartialPrefixYieldsNothing) {
+  RecordAssembler ra;
+  const common::Bytes partial = {5, 0, 0};  // only 3 of 4 length bytes
+  ra.feed(partial);
+  EXPECT_FALSE(ra.next_record().has_value());
+  EXPECT_FALSE(ra.drained());
+}
+
+TEST(Record, ImplausibleLengthRejected) {
+  RecordAssembler ra;
+  common::Bytes evil(4);
+  common::store_le32(evil.data(), 0x7FFFFFFFu);
+  ra.feed(evil);
+  EXPECT_THROW(ra.next_record(), compress::CodecError);
+}
+
+}  // namespace
+}  // namespace strato::dataflow

@@ -1,0 +1,153 @@
+// Typed record serialization: varints, zigzag, strings, doubles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "dataflow/serdes.h"
+
+namespace strato::dataflow {
+namespace {
+
+TEST(Serdes, VarintBoundaries) {
+  RecordWriterCursor w;
+  const std::uint64_t values[] = {
+      0,       1,        127,        128,        16383, 16384,
+      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 5,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) w.put_varint(v);
+  RecordReaderCursor r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serdes, VarintEncodingSizes) {
+  const auto size_of = [](std::uint64_t v) {
+    RecordWriterCursor w;
+    w.put_varint(v);
+    return w.bytes().size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(UINT64_MAX), 10u);
+}
+
+TEST(Serdes, SignedZigzag) {
+  RecordWriterCursor w;
+  const std::int64_t values[] = {0,  -1, 1,  -2, 2,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 -123456789, 987654321};
+  for (const auto v : values) w.put_signed(v);
+  RecordReaderCursor r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_signed(), v);
+}
+
+TEST(Serdes, SmallMagnitudesStaySmall) {
+  RecordWriterCursor w;
+  w.put_signed(-64);  // zigzag 127 -> one byte
+  EXPECT_EQ(w.bytes().size(), 1u);
+}
+
+TEST(Serdes, Doubles) {
+  RecordWriterCursor w;
+  const double values[] = {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                           std::numeric_limits<double>::infinity()};
+  for (const auto v : values) w.put_double(v);
+  w.put_double(std::nan(""));
+  RecordReaderCursor r(w.bytes());
+  for (const auto v : values) {
+    EXPECT_EQ(r.get_double(), v);
+  }
+  EXPECT_TRUE(std::isnan(r.get_double()));
+}
+
+TEST(Serdes, StringsAndBytesAndBools) {
+  RecordWriterCursor w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_bool(true);
+  const common::Bytes blob = {0x00, 0x01, 0x02};
+  w.put_bytes(blob);
+  w.put_bool(false);
+  std::string big(100000, 'q');
+  w.put_string(big);
+
+  RecordReaderCursor r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_bytes().size(), 3u);
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_string(), big);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serdes, MixedRecordRoundTrip) {
+  common::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    RecordWriterCursor w;
+    const auto id = rng();
+    const auto delta = static_cast<std::int64_t>(rng()) >> (rng() % 40);
+    const double score = rng.gaussian(0, 1e6);
+    w.put_varint(id);
+    w.put_signed(delta);
+    w.put_double(score);
+    w.put_string("key-" + std::to_string(trial));
+
+    RecordReaderCursor r(w.bytes());
+    EXPECT_EQ(r.get_varint(), id);
+    EXPECT_EQ(r.get_signed(), delta);
+    EXPECT_EQ(r.get_double(), score);
+    EXPECT_EQ(r.get_string(), "key-" + std::to_string(trial));
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Serdes, TruncationRejected) {
+  RecordWriterCursor w;
+  w.put_string("some payload");
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  RecordReaderCursor r(bytes);
+  EXPECT_THROW((void)r.get_string(), compress::CodecError);
+
+  RecordReaderCursor r2({});
+  EXPECT_THROW((void)r2.get_varint(), compress::CodecError);
+  EXPECT_THROW((void)r2.get_double(), compress::CodecError);
+}
+
+TEST(Serdes, MalformedInputsRejected) {
+  // 11-byte all-continuation varint overflows.
+  common::Bytes evil(11, 0xFF);
+  RecordReaderCursor r(evil);
+  EXPECT_THROW((void)r.get_varint(), compress::CodecError);
+
+  const common::Bytes bad_bool = {7};
+  RecordReaderCursor r2(bad_bool);
+  EXPECT_THROW((void)r2.get_bool(), compress::CodecError);
+
+  // Length prefix longer than the record.
+  RecordWriterCursor w;
+  w.put_varint(1000);
+  RecordReaderCursor r3(w.bytes());
+  EXPECT_THROW((void)r3.get_bytes(), compress::CodecError);
+}
+
+TEST(Serdes, ClearAndTake) {
+  RecordWriterCursor w;
+  w.put_varint(7);
+  const auto taken = w.take();
+  EXPECT_EQ(taken.size(), 1u);
+  w.put_varint(8);
+  EXPECT_EQ(w.bytes().size(), 1u);
+  w.clear();
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+}  // namespace
+}  // namespace strato::dataflow

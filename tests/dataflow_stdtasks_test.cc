@@ -1,0 +1,190 @@
+// Reusable task building blocks (stdtasks.h) and the new corpus
+// generators used by realistic examples.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "compress/registry.h"
+#include "corpus/entropy.h"
+#include "dataflow/executor.h"
+#include "dataflow/stdtasks.h"
+
+namespace strato::dataflow {
+namespace {
+
+TEST(StdTasks, CorpusSourceToCountingSink) {
+  std::atomic<std::uint64_t> records{0}, bytes{0};
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    return std::make_unique<CorpusSource>(corpus::Compressibility::kHigh,
+                                          100000, 1000);
+  });
+  const int dst = g.add_vertex("dst", [&] {
+    return std::make_unique<CountingSink>(records, bytes);
+  });
+  g.connect(src, dst, ChannelType::kInMemory);
+  Executor exec;
+  ASSERT_TRUE(exec.execute(g).ok());
+  EXPECT_EQ(records.load(), 100u);
+  EXPECT_EQ(bytes.load(), 100000u);
+}
+
+TEST(StdTasks, MapTransformsEveryRecord) {
+  std::atomic<std::uint64_t> records{0}, bytes{0};
+  std::atomic<int> doubled{0};
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    int n = 0;
+    return std::make_unique<FunctionSource>(
+        [n]() mutable -> std::optional<common::Bytes> {
+          if (n >= 50) return std::nullopt;
+          ++n;
+          return common::Bytes{static_cast<std::uint8_t>(n)};
+        });
+  });
+  const int map = g.add_vertex("map", [&] {
+    return std::make_unique<MapTask>([&](common::Bytes rec) {
+      doubled.fetch_add(1);
+      rec.push_back(rec[0]);  // duplicate the byte
+      return rec;
+    });
+  });
+  const int dst = g.add_vertex("dst", [&] {
+    return std::make_unique<CountingSink>(records, bytes);
+  });
+  g.connect(src, map, ChannelType::kInMemory);
+  g.connect(map, dst, ChannelType::kInMemory);
+  Executor exec;
+  ASSERT_TRUE(exec.execute(g).ok());
+  EXPECT_EQ(records.load(), 50u);
+  EXPECT_EQ(bytes.load(), 100u);  // 2 bytes each after the map
+  EXPECT_EQ(doubled.load(), 50);
+}
+
+TEST(StdTasks, FilterDropsRecords) {
+  std::atomic<std::uint64_t> records{0}, bytes{0};
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    int n = 0;
+    return std::make_unique<FunctionSource>(
+        [n]() mutable -> std::optional<common::Bytes> {
+          if (n >= 100) return std::nullopt;
+          return common::Bytes{static_cast<std::uint8_t>(n++ % 4)};
+        });
+  });
+  const int filter = g.add_vertex("filter", [] {
+    return std::make_unique<FilterTask>(
+        [](common::ByteSpan rec) { return rec[0] == 0; });
+  });
+  const int dst = g.add_vertex("dst", [&] {
+    return std::make_unique<CountingSink>(records, bytes);
+  });
+  g.connect(src, filter, ChannelType::kInMemory);
+  g.connect(filter, dst, ChannelType::kInMemory);
+  Executor exec;
+  ASSERT_TRUE(exec.execute(g).ok());
+  EXPECT_EQ(records.load(), 25u);
+}
+
+TEST(StdTasks, ForEachSinkSeesEveryRecord) {
+  std::vector<std::size_t> sizes;
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    return std::make_unique<CorpusSource>(corpus::Compressibility::kLow,
+                                          10000, 3000);
+  });
+  const int dst = g.add_vertex("dst", [&] {
+    return std::make_unique<ForEachSink>(
+        [&](common::ByteSpan rec) { sizes.push_back(rec.size()); });
+  });
+  g.connect(src, dst, ChannelType::kInMemory);
+  Executor exec;
+  ASSERT_TRUE(exec.execute(g).ok());
+  ASSERT_EQ(sizes.size(), 4u);  // 3000+3000+3000+1000
+  EXPECT_EQ(sizes.back(), 1000u);
+}
+
+TEST(StdTasks, FunctionSourceFansOutToAllGates) {
+  std::atomic<std::uint64_t> r1{0}, b1{0}, r2{0}, b2{0};
+  JobGraph g;
+  const int src = g.add_vertex("src", [] {
+    int n = 0;
+    return std::make_unique<FunctionSource>(
+        [n]() mutable -> std::optional<common::Bytes> {
+          if (n++ >= 10) return std::nullopt;
+          return common::Bytes{1, 2, 3};
+        });
+  });
+  const int d1 = g.add_vertex("d1", [&] {
+    return std::make_unique<CountingSink>(r1, b1);
+  });
+  const int d2 = g.add_vertex("d2", [&] {
+    return std::make_unique<CountingSink>(r2, b2);
+  });
+  g.connect(src, d1, ChannelType::kInMemory);
+  g.connect(src, d2, ChannelType::kInMemory);
+  Executor exec;
+  ASSERT_TRUE(exec.execute(g).ok());
+  EXPECT_EQ(r1.load(), 10u);
+  EXPECT_EQ(r2.load(), 10u);
+}
+
+}  // namespace
+}  // namespace strato::dataflow
+
+namespace strato::corpus {
+namespace {
+
+TEST(NewGenerators, LogStreamShapeAndDeterminism) {
+  LogGenerator a(3), b(3);
+  const auto sa = take(a, 200000);
+  EXPECT_EQ(sa, take(b, 200000));
+  // Text-like entropy, template-driven compressibility between HIGH and
+  // MODERATE.
+  EXPECT_GT(shannon_entropy(sa), 3.5);
+  EXPECT_LT(shannon_entropy(sa), 6.0);
+  const auto& codec = *compress::CodecRegistry::standard().level(1).codec;
+  const double ratio =
+      static_cast<double>(codec.compress(sa).size()) /
+      static_cast<double>(sa.size());
+  EXPECT_GT(ratio, 0.15);
+  EXPECT_LT(ratio, 0.45);
+  // Lines look like logs: newline-terminated, containing level tags.
+  const std::string text = common::to_string(common::ByteSpan(sa.data(), 2000));
+  EXPECT_NE(text.find("INFO"), std::string::npos);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+}
+
+TEST(NewGenerators, ColumnarShape) {
+  ColumnarGenerator g(5);
+  const auto data = take(g, 500000);
+  ColumnarGenerator g2(5);
+  EXPECT_EQ(take(g2, 500000), data);
+  const auto& light = *compress::CodecRegistry::standard().level(1).codec;
+  const auto& heavy = *compress::CodecRegistry::standard().level(3).codec;
+  const double light_ratio =
+      static_cast<double>(light.compress(data).size()) /
+      static_cast<double>(data.size());
+  const double heavy_ratio =
+      static_cast<double>(heavy.compress(data).size()) /
+      static_cast<double>(data.size());
+  // Mixed-entropy: compressible but far from the fax corpus...
+  EXPECT_GT(light_ratio, 0.4);
+  EXPECT_LT(light_ratio, 0.9);
+  // ...and entropy coding pays off on the numeric columns.
+  EXPECT_LT(heavy_ratio, light_ratio - 0.1);
+}
+
+TEST(NewGenerators, ResetRestartsStreams) {
+  LogGenerator lg(9);
+  const auto first = take(lg, 5000);
+  lg.reset(9);
+  EXPECT_EQ(take(lg, 5000), first);
+  ColumnarGenerator cg(9);
+  const auto cfirst = take(cg, 5000);
+  cg.reset(9);
+  EXPECT_EQ(take(cg, 5000), cfirst);
+}
+
+}  // namespace
+}  // namespace strato::corpus

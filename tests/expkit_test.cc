@@ -1,0 +1,136 @@
+// Experiment harness: table rendering, ASCII charts, policy factories and
+// the pinned paper data.
+#include <gtest/gtest.h>
+
+#include "expkit/ascii_chart.h"
+#include "expkit/paper_data.h"
+#include "expkit/policies.h"
+#include "expkit/tables.h"
+
+namespace strato::expkit {
+namespace {
+
+TEST(Tables, AlignsColumns) {
+  TablePrinter t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer-name", "123456"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);  // header separator
+  // Right-aligned value column: "     1" under "123456".
+  EXPECT_NE(s.find("     1"), std::string::npos);
+}
+
+TEST(Tables, Formatters) {
+  EXPECT_EQ(mean_sd(568.6, 3.2), "569 (3)");
+  EXPECT_EQ(fmt_seconds(1881.4), "1881");
+  EXPECT_EQ(fmt_seconds(72.46), "72.5");
+  EXPECT_EQ(fmt(0.163, 3), "0.163");
+}
+
+TEST(AsciiChart, BoxplotMarksAllFiveNumbers) {
+  common::FiveNumber f{10, 25, 50, 75, 90, 2};
+  const std::string s = render_boxplot("label", f, 0, 100, 50);
+  EXPECT_NE(s.find('['), std::string::npos);
+  EXPECT_NE(s.find(']'), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('|'), std::string::npos);
+  EXPECT_NE(s.find("label"), std::string::npos);
+}
+
+TEST(AsciiChart, StripHandlesEmptyAndData) {
+  metrics::TimeSeries empty;
+  EXPECT_NE(render_strip(empty).find("no data"), std::string::npos);
+
+  metrics::TimeSeries ts;
+  for (int i = 0; i <= 100; ++i) {
+    ts.add(common::SimTime::seconds(i), 50.0 + (i % 10));
+  }
+  const std::string s = render_strip(ts, 40, 6);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("t: 0s .. 100s"), std::string::npos);
+}
+
+TEST(AsciiChart, LevelStripUsesGlyphs) {
+  metrics::TimeSeries levels;
+  levels.add(common::SimTime::seconds(0), 0);
+  levels.add(common::SimTime::seconds(25), 1);
+  levels.add(common::SimTime::seconds(50), 2);
+  levels.add(common::SimTime::seconds(75), 3);
+  const std::string s = render_level_strip(levels, 100, 40);
+  EXPECT_NE(s.find('N'), std::string::npos);
+  EXPECT_NE(s.find('L'), std::string::npos);
+  EXPECT_NE(s.find('M'), std::string::npos);
+  EXPECT_NE(s.find('H'), std::string::npos);
+}
+
+TEST(PaperData, TableIsComplete) {
+  for (int bg = 0; bg < 4; ++bg) {
+    for (int pol = 0; pol < 5; ++pol) {
+      for (int cls = 0; cls < 3; ++cls) {
+        EXPECT_GT(kPaperTable2[bg][pol][cls], 0.0);
+        EXPECT_GE(kPaperTable2Sd[bg][pol][cls], 0.0);
+      }
+    }
+  }
+  // The paper's own headline claims hold for its own numbers.
+  double worst_gap = 0.0, best_speedup = 0.0;
+  for (int bg = 0; bg < 4; ++bg) {
+    for (int cls = 0; cls < 3; ++cls) {
+      double best_static = 1e18;
+      for (int pol = 0; pol < 4; ++pol) {
+        best_static = std::min(best_static, kPaperTable2[bg][pol][cls]);
+      }
+      worst_gap = std::max(
+          worst_gap, kPaperTable2[bg][kDynamic][cls] / best_static - 1.0);
+      best_speedup = std::max(best_speedup,
+                              kPaperTable2[bg][kNo][cls] /
+                                  kPaperTable2[bg][kDynamic][cls]);
+    }
+  }
+  EXPECT_LE(worst_gap, kPaperDynamicBound + 1e-9);
+  EXPECT_GE(best_speedup, kPaperSpeedupClaim - 0.05);
+}
+
+TEST(Policies, FactoryCoversAllNames) {
+  vsim::TransferConfig cfg;
+  cfg.total_bytes = 1000;
+  vsim::TransferExperiment exp(cfg);
+  for (const char* name :
+       {"NO", "LIGHT", "MEDIUM", "HEAVY", "DYNAMIC", "METRIC", "QUEUE"}) {
+    const auto p = make_policy(name, exp);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_GE(p->level(), 0);
+  }
+  EXPECT_THROW((void)make_policy("NOPE", exp), std::invalid_argument);
+}
+
+TEST(Policies, StaticLevelsMatchNames) {
+  vsim::TransferConfig cfg;
+  vsim::TransferExperiment exp(cfg);
+  EXPECT_EQ(make_policy("NO", exp)->level(), 0);
+  EXPECT_EQ(make_policy("LIGHT", exp)->level(), 1);
+  EXPECT_EQ(make_policy("MEDIUM", exp)->level(), 2);
+  EXPECT_EQ(make_policy("HEAVY", exp)->level(), 3);
+}
+
+TEST(Policies, TrainedModelReflectsCodecModel) {
+  const auto model = vsim::CodecModel::defaults();
+  const auto trained =
+      trained_from_model(model, corpus::Compressibility::kHigh);
+  ASSERT_EQ(trained.size(), 4u);
+  EXPECT_DOUBLE_EQ(trained[0].ratio, 1.0);
+  EXPECT_LT(trained[3].compress_bytes_s, trained[1].compress_bytes_s);
+  EXPECT_LT(trained[3].ratio, trained[1].ratio);
+  // Speed factor scales speeds, not ratios.
+  const auto scaled =
+      trained_from_model(model, corpus::Compressibility::kHigh, 0.5);
+  EXPECT_DOUBLE_EQ(scaled[1].compress_bytes_s,
+                   trained[1].compress_bytes_s * 0.5);
+  EXPECT_DOUBLE_EQ(scaled[1].ratio, trained[1].ratio);
+}
+
+}  // namespace
+}  // namespace strato::expkit

@@ -1,0 +1,62 @@
+// /proc/<pid>/stat parsing (the paper's qemu-process monitoring path).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "metrics/pid_stat.h"
+
+namespace strato::metrics {
+namespace {
+
+TEST(PidStat, ParsesTypicalLine) {
+  const auto s = parse_pid_stat(
+      "1234 (qemu-system-x86) S 1 1234 1234 0 -1 4194560 "
+      "52345 0 12 0 777 333 0 0 20 0 4 0 12345 987654321 5678");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->pid, 1234);
+  EXPECT_EQ(s->comm, "qemu-system-x86");
+  EXPECT_EQ(s->state, 'S');
+  EXPECT_EQ(s->utime, 777u);
+  EXPECT_EQ(s->stime, 333u);
+  EXPECT_EQ(s->total(), 1110u);
+}
+
+TEST(PidStat, CommWithSpacesAndParens) {
+  // comm is delimited by the LAST ')': names like "tmux: server" or
+  // "((evil) name)" must parse.
+  const auto s = parse_pid_stat(
+      "77 (((evil) na me)) R 1 1 1 0 -1 0 0 0 0 0 42 24 0 0 20 0 1 0 0 0 0");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->comm, "((evil) na me)");
+  EXPECT_EQ(s->utime, 42u);
+  EXPECT_EQ(s->stime, 24u);
+}
+
+TEST(PidStat, MalformedRejected) {
+  EXPECT_FALSE(parse_pid_stat("").has_value());
+  EXPECT_FALSE(parse_pid_stat("1234 no-parens R 0 0").has_value());
+  EXPECT_FALSE(parse_pid_stat("x (y) R 1").has_value());       // bad pid
+  EXPECT_FALSE(parse_pid_stat("1 (y) R 1 2 3").has_value());   // too short
+}
+
+TEST(PidStat, CpuFraction) {
+  PidStatSnapshot a, b;
+  a.utime = 100;
+  a.stime = 50;
+  b.utime = 160;   // +60
+  b.stime = 90;    // +40 -> 100 jiffies over 2 s at 100 Hz = 50 %
+  EXPECT_NEAR(process_cpu_fraction(a, b, 2.0), 0.5, 1e-12);
+  // Degenerate inputs.
+  EXPECT_EQ(process_cpu_fraction(b, a, 2.0), 0.0);  // counter regression
+  EXPECT_EQ(process_cpu_fraction(a, b, 0.0), 0.0);
+}
+
+TEST(PidStat, LiveSelfRead) {
+  const auto self = read_pid_stat(static_cast<int>(getpid()));
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->pid, static_cast<int>(getpid()));
+  EXPECT_FALSE(self->comm.empty());
+}
+
+}  // namespace
+}  // namespace strato::metrics

@@ -1,0 +1,188 @@
+// Cross-cutting property tests: differential codec checks, adversarial
+// inputs, and controller trace invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/framing.h"
+#include "compress/registry.h"
+#include "compress/streaming.h"
+#include "core/controller.h"
+#include "corpus/generator.h"
+
+namespace strato {
+namespace {
+
+/// Adversarial byte-string generator: runs, copies, noise, structure.
+common::Bytes adversarial(common::Xoshiro256& rng, std::size_t target) {
+  common::Bytes data;
+  while (data.size() < target) {
+    switch (rng.below(5)) {
+      case 0:
+        data.insert(data.end(), 1 + rng.below(900),
+                    static_cast<std::uint8_t>(rng()));
+        break;
+      case 1: {
+        const std::size_t n = 1 + rng.below(400);
+        for (std::size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+      case 2: {
+        if (data.empty()) break;
+        const std::size_t start = rng.below(data.size());
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.below(1200), data.size() - start);
+        for (std::size_t i = 0; i < n; ++i) data.push_back(data[start + i]);
+        break;
+      }
+      case 3: {  // ascending ramp (no repeats, byte-wise structure)
+        const std::size_t n = 1 + rng.below(300);
+        for (std::size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<std::uint8_t>(i));
+        }
+        break;
+      }
+      default:
+        data.push_back(static_cast<std::uint8_t>(rng()));
+    }
+  }
+  data.resize(target);
+  return data;
+}
+
+class DifferentialCodecs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialCodecs, EveryCodecRoundTripsEveryInput) {
+  common::Xoshiro256 rng(GetParam());
+  const auto data = adversarial(rng, 1 + rng.below(200000));
+  const auto& reg = compress::CodecRegistry::extended();
+  for (std::size_t l = 0; l < reg.level_count(); ++l) {
+    const auto& codec = *reg.level(l).codec;
+    const auto comp = codec.compress(data);
+    ASSERT_LE(comp.size(), codec.max_compressed_size(data.size()))
+        << reg.level(l).label;
+    ASSERT_EQ(codec.decompress(comp, data.size()), data)
+        << reg.level(l).label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialCodecs,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class GarbageDecompression : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GarbageDecompression, NeverCrashesOnRandomInput) {
+  // Feeding arbitrary bytes to any decompressor must either throw
+  // CodecError or produce *some* output — never crash, hang, or scribble.
+  common::Xoshiro256 rng(GetParam());
+  const auto& reg = compress::CodecRegistry::extended();
+  for (int trial = 0; trial < 20; ++trial) {
+    common::Bytes garbage(1 + rng.below(5000));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    common::Bytes out(1 + rng.below(20000));
+    for (std::size_t l = 1; l < reg.level_count(); ++l) {
+      try {
+        reg.level(l).codec->decompress(garbage, out);
+      } catch (const compress::CodecError&) {
+        // expected most of the time
+      }
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageDecompression,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(StreamingEquivalence, FirstBlockMatchesIndependentCompression) {
+  // With no history, the streaming compressor must produce exactly the
+  // independent encoder's output.
+  common::Xoshiro256 rng(3);
+  const auto data = adversarial(rng, 60000);
+  compress::StreamingLzCompressor streaming;
+  const auto a = streaming.compress_block(data);
+  common::Bytes b(compress::lz77_max_compressed_size(data.size()));
+  b.resize(compress::lz77_compress(data, b, compress::Lz77Params{}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameFuzz, GarbageStreamsAreRejectedNotMisparsed) {
+  common::Xoshiro256 rng(11);
+  const auto& reg = compress::CodecRegistry::standard();
+  for (int trial = 0; trial < 50; ++trial) {
+    compress::FrameAssembler assembler(reg);
+    common::Bytes garbage(compress::kFrameHeaderSize + rng.below(2000));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    assembler.feed(garbage);
+    try {
+      while (assembler.next_block()) {
+      }
+    } catch (const compress::CodecError&) {
+      continue;
+    }
+    // No exception means the random bytes never formed a complete header
+    // + payload — also fine.
+  }
+  SUCCEED();
+}
+
+// --- controller trace invariants ----------------------------------------------
+
+TEST(ControllerInvariants, HoldUnderRandomRateWalks) {
+  common::Xoshiro256 rng(21);
+  for (int walk = 0; walk < 20; ++walk) {
+    core::AdaptiveConfig cfg;
+    cfg.num_levels = 2 + static_cast<int>(rng.below(5));
+    cfg.alpha = rng.uniform(0.05, 0.4);
+    core::AdaptiveController ctl(cfg);
+    int prev_level = 0;
+    double rate = 1e6;
+    for (int w = 0; w < 2000; ++w) {
+      rate = std::max(1.0, rate * rng.uniform(0.7, 1.4));
+      const auto dec = ctl.on_window(rate);
+      // 1. Levels always valid.
+      ASSERT_GE(dec.level, 0);
+      ASSERT_LT(dec.level, cfg.num_levels);
+      // 2. At most one rung per window.
+      ASSERT_LE(std::abs(dec.level - prev_level), 1);
+      // 3. probed and reverted are mutually exclusive.
+      ASSERT_FALSE(dec.probed && dec.reverted);
+      // 4. Backoffs stay within the cap.
+      for (int l = 0; l < cfg.num_levels; ++l) {
+        ASSERT_GE(ctl.backoff(l), 0);
+        ASSERT_LE(ctl.backoff(l), cfg.max_backoff_exponent);
+      }
+      prev_level = dec.level;
+    }
+  }
+}
+
+TEST(ControllerInvariants, ConstantRateConvergesToPeriodicProbing) {
+  // Under a perfectly constant rate every decision is a probe (the rate
+  // never "improves"), so bck never grows and probing is periodic with
+  // period 1 — the documented no-signal behaviour.
+  core::AdaptiveController ctl(core::AdaptiveConfig{});
+  int probes = 0;
+  for (int w = 0; w < 100; ++w) {
+    if (ctl.on_window(1000.0).probed) ++probes;
+  }
+  EXPECT_GT(probes, 90);
+}
+
+TEST(ControllerInvariants, RewardedLevelKeepsLongerBackoffs) {
+  // A level that repeatedly improves the rate must end with a strictly
+  // larger backoff than its neighbours.
+  core::AdaptiveController ctl(core::AdaptiveConfig{});
+  double rate = 100.0;
+  ctl.on_window(rate);  // -> level 1
+  for (int i = 0; i < 6; ++i) {
+    rate *= 1.5;
+    ctl.on_window(rate);  // improvements at level 1
+  }
+  EXPECT_GT(ctl.backoff(1), ctl.backoff(0));
+  EXPECT_GT(ctl.backoff(1), ctl.backoff(2));
+}
+
+}  // namespace
+}  // namespace strato

@@ -1,0 +1,137 @@
+// Virtualization profiles and the Fig. 1 CPU-accuracy study: the modelled
+// discrepancies must reproduce the paper's qualitative findings.
+#include <gtest/gtest.h>
+
+#include "vsim/iobench.h"
+#include "vsim/profile.h"
+
+namespace strato::vsim {
+namespace {
+
+TEST(Profiles, AllTechsResolve) {
+  for (const auto t : kAllTechs) {
+    const VirtProfile& p = profile(t);
+    EXPECT_EQ(p.tech, t);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.net_bytes_s, 0.0);
+    EXPECT_GT(p.disk_write_bytes_s, 0.0);
+    for (const auto op : kAllIoOps) {
+      EXPECT_NO_THROW((void)p.accounting(op));
+    }
+  }
+}
+
+TEST(Profiles, NativeIsHonest) {
+  const VirtProfile& p = profile(VirtTech::kNative);
+  EXPECT_DOUBLE_EQ(p.net_cpu_visibility, 1.0);
+  EXPECT_DOUBLE_EQ(p.disk_cpu_visibility, 1.0);
+  for (const auto op : kAllIoOps) {
+    const auto acc = p.accounting(op);
+    EXPECT_NEAR(acc.vm_view.busy(), acc.host_view.busy(), 1e-9)
+        << to_string(op);
+  }
+}
+
+TEST(Profiles, ThroughputOrdering) {
+  // Native is the fastest network; full virtualization the slowest of the
+  // local setups (emulated e1000) — the Fig. 2 ordering.
+  EXPECT_GT(profile(VirtTech::kNative).net_bytes_s,
+            profile(VirtTech::kKvmPara).net_bytes_s);
+  EXPECT_GT(profile(VirtTech::kKvmPara).net_bytes_s,
+            profile(VirtTech::kKvmFull).net_bytes_s);
+}
+
+TEST(Profiles, PaperHeadlineDiscrepancies) {
+  // "for others (e.g. network send operation using KVM (paravirt.) or
+  // file read operation using XEN) the gap can grow up to a factor of 15"
+  const auto kvm_send =
+      profile(VirtTech::kKvmPara).accounting(IoOp::kNetSend);
+  const double send_gap =
+      kvm_send.host_view.busy() / kvm_send.vm_view.busy();
+  EXPECT_GT(send_gap, 10.0);
+  EXPECT_LT(send_gap, 20.0);
+
+  const auto xen_read =
+      profile(VirtTech::kXenPara).accounting(IoOp::kFileRead);
+  const double read_gap =
+      xen_read.host_view.busy() / xen_read.vm_view.busy();
+  EXPECT_GT(read_gap, 8.0);
+
+  // "for some I/O operations the discrepancy ... is rather small (e.g.
+  // network send operation using KVM (full virt.) or XEN)".
+  const auto kvm_full =
+      profile(VirtTech::kKvmFull).accounting(IoOp::kNetSend);
+  EXPECT_LT(kvm_full.host_view.busy() / kvm_full.vm_view.busy(), 3.0);
+  const auto xen_send =
+      profile(VirtTech::kXenPara).accounting(IoOp::kNetSend);
+  EXPECT_LT(xen_send.host_view.busy() / xen_send.vm_view.busy(), 2.0);
+}
+
+TEST(Profiles, Ec2HostIsUnobservable) {
+  for (const auto op : kAllIoOps) {
+    const auto acc = profile(VirtTech::kEc2).accounting(op);
+    EXPECT_FALSE(acc.host_observable) << to_string(op);
+    EXPECT_GT(acc.vm_view.steal, 0.0) << to_string(op);  // EC2 shows STEAL
+  }
+}
+
+TEST(Profiles, OnlyXenHasWriteBackCache) {
+  for (const auto t : kAllTechs) {
+    EXPECT_EQ(profile(t).disk_cache.write_back_cache,
+              t == VirtTech::kXenPara)
+        << to_string(t);
+  }
+}
+
+TEST(Profiles, Ec2NetworkIsTwoState) {
+  EXPECT_EQ(profile(VirtTech::kEc2).net_fluct.kind,
+            FluctuationKind::kTwoState);
+  for (const auto t : {VirtTech::kNative, VirtTech::kKvmFull,
+                       VirtTech::kKvmPara, VirtTech::kXenPara}) {
+    EXPECT_EQ(profile(t).net_fluct.kind, FluctuationKind::kGaussian);
+  }
+}
+
+// --- the Fig. 1 experiment -----------------------------------------------------
+
+TEST(CpuAccuracy, ProducesRequestedSampleCount) {
+  const auto res =
+      run_cpu_accuracy(VirtTech::kKvmPara, IoOp::kNetSend, 120, 1);
+  EXPECT_EQ(res.samples.size(), 120u);
+}
+
+TEST(CpuAccuracy, MeansTrackTheProfileTable) {
+  for (const auto t : kAllTechs) {
+    for (const auto op : kAllIoOps) {
+      const auto res = run_cpu_accuracy(t, op, 200, 7);
+      const auto want = profile(t).accounting(op);
+      EXPECT_NEAR(res.vm_mean.busy(), want.vm_view.busy(),
+                  0.15 * want.vm_view.busy() + 0.01)
+          << to_string(t) << "/" << to_string(op);
+      if (want.host_observable) {
+        EXPECT_NEAR(res.host_mean.busy(), want.host_view.busy(),
+                    0.15 * want.host_view.busy() + 0.01);
+      }
+    }
+  }
+}
+
+TEST(CpuAccuracy, DiscrepancyMetric) {
+  const auto skewed =
+      run_cpu_accuracy(VirtTech::kKvmPara, IoOp::kNetSend, 150, 3);
+  EXPECT_GT(skewed.discrepancy(), 8.0);
+  const auto honest =
+      run_cpu_accuracy(VirtTech::kNative, IoOp::kNetSend, 150, 3);
+  EXPECT_NEAR(honest.discrepancy(), 1.0, 0.1);
+}
+
+TEST(CpuAccuracy, DeterministicPerSeed) {
+  const auto a = run_cpu_accuracy(VirtTech::kXenPara, IoOp::kFileRead, 50, 9);
+  const auto b = run_cpu_accuracy(VirtTech::kXenPara, IoOp::kFileRead, 50, 9);
+  EXPECT_DOUBLE_EQ(a.vm_mean.busy(), b.vm_mean.busy());
+  const auto c = run_cpu_accuracy(VirtTech::kXenPara, IoOp::kFileRead, 50, 10);
+  EXPECT_NE(a.vm_mean.busy(), c.vm_mean.busy());
+}
+
+}  // namespace
+}  // namespace strato::vsim
