@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build with -DSTRATO_SANITIZE=thread and run the concurrency-sensitive
+# tests (thread pool, buffer pool, parallel pipeline, stream, channels)
+# under ThreadSanitizer.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+TESTS=(
+  common_concurrency_test
+  compress_pipeline_test
+  core_stream_test
+  dataflow_channel_test
+)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTRATO_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+# second_deadlock_stack aids debugging lock-order reports; halt_on_error
+# keeps CI signal crisp.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "== TSan: $t =="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "TSan suite clean."
+else
+  echo "TSan suite FAILED." >&2
+fi
+exit "$status"

@@ -1,0 +1,56 @@
+#include "common/buffer_pool.h"
+
+#include <utility>
+
+namespace strato::common {
+
+BufferPool::BufferPool(std::size_t max_buffers)
+    : max_buffers_(max_buffers == 0 ? 1 : max_buffers) {
+  free_.reserve(max_buffers_);
+}
+
+Bytes BufferPool::acquire(std::size_t min_capacity) {
+  Bytes buf;
+  {
+    std::lock_guard lk(mu_);
+    ++acquires_;
+    if (!free_.empty()) {
+      // Prefer a buffer that is already large enough so steady-state reuse
+      // never re-reserves; otherwise grow the last one.
+      std::size_t pick = free_.size() - 1;
+      for (std::size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i].capacity() >= min_capacity) {
+          pick = i;
+          break;
+        }
+      }
+      buf = std::move(free_[pick]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++reuses_;
+    }
+  }
+  buf.clear();
+  buf.reserve(min_capacity);
+  return buf;
+}
+
+void BufferPool::release(Bytes buf) {
+  std::lock_guard lk(mu_);
+  if (free_.size() >= max_buffers_) {
+    ++drops_;
+    return;  // buf freed on scope exit
+  }
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lk(mu_);
+  return {acquires_, reuses_, drops_, free_.size()};
+}
+
+BufferPool& BufferPool::shared() {
+  static BufferPool pool(64);
+  return pool;
+}
+
+}  // namespace strato::common

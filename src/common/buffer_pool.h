@@ -1,0 +1,89 @@
+// Reusable block-buffer pool.
+//
+// Every 128 KB channel block used to cost at least two short-lived
+// std::vector allocations on the hot path: the frame the codec writes into
+// and, with the parallel pipeline, the raw copy handed to a worker. At
+// link-saturating rates those allocations (and the page faults behind
+// freshly mapped pages) show up prominently in profiles. BufferPool keeps a
+// bounded free list of Bytes buffers so steady-state compression recycles
+// the same few blocks of memory instead of round-tripping the allocator.
+//
+// Thread-safe: the parallel pipeline's workers acquire/release frames
+// concurrently with the submitting thread recycling raw-block copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace strato::common {
+
+/// Bounded free list of reusable byte buffers.
+class BufferPool {
+ public:
+  /// @param max_buffers free-list bound; released buffers beyond it are
+  ///                    dropped (freed) instead of retained.
+  explicit BufferPool(std::size_t max_buffers = 32);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with capacity >= min_capacity and size 0. Reuses a pooled
+  /// buffer when one is available, preferring one already large enough.
+  [[nodiscard]] Bytes acquire(std::size_t min_capacity);
+
+  /// Return a buffer to the pool. Contents are irrelevant; the buffer is
+  /// dropped when the free list is full.
+  void release(Bytes buf);
+
+  /// Counters for tests and benches.
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from the free list
+    std::uint64_t drops = 0;     ///< releases dropped because the list was full
+    std::size_t free_buffers = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide pool used by the serial compression paths (the parallel
+  /// pipeline owns a private pool sized to its reorder window).
+  static BufferPool& shared();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
+  std::size_t max_buffers_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// RAII lease: acquire on construction, release on scope exit.
+class PooledBuffer {
+ public:
+  PooledBuffer(BufferPool& pool, std::size_t min_capacity)
+      : pool_(&pool), buf_(pool.acquire(min_capacity)) {}
+  ~PooledBuffer() {
+    if (pool_ != nullptr) pool_->release(std::move(buf_));
+  }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), buf_(std::move(other.buf_)) {
+    other.pool_ = nullptr;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(PooledBuffer&&) = delete;
+
+  [[nodiscard]] Bytes& operator*() { return buf_; }
+  [[nodiscard]] Bytes* operator->() { return &buf_; }
+
+ private:
+  BufferPool* pool_;
+  Bytes buf_;
+};
+
+}  // namespace strato::common

@@ -10,12 +10,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
+  // Workers drain the remaining queue before exiting (see worker_loop), so
+  // joining here guarantees every accepted job has run.
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

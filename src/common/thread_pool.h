@@ -10,12 +10,19 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace strato::common {
 
 /// Fixed-size pool executing std::function jobs FIFO.
+///
+/// Shutdown semantics (relied on by compress::ParallelBlockPipeline): every
+/// job accepted by submit() runs to completion before shutdown() returns —
+/// queued jobs are drained, never discarded — and submit() after shutdown
+/// throws instead of silently enqueueing work that would never run (which
+/// used to surface as a broken-promise future at some later get()).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);
@@ -24,7 +31,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a job; returns a future for its completion.
+  /// Enqueue a job; returns a future for its completion. Exceptions thrown
+  /// by the job are captured into the future; the worker survives.
+  /// @throws std::runtime_error after shutdown().
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -33,11 +42,18 @@ class ThreadPool {
     auto fut = task->get_future();
     {
       std::lock_guard lk(mu_);
+      if (stop_) {
+        throw std::runtime_error("thread pool: submit after shutdown");
+      }
       jobs_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return fut;
   }
+
+  /// Drain all queued jobs, then join the workers. Idempotent; invoked by
+  /// the destructor. Further submit() calls throw.
+  void shutdown();
 
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return workers_.size(); }

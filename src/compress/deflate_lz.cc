@@ -21,19 +21,36 @@ constexpr std::size_t kDistAlphabet = 16;
 constexpr std::uint8_t kMarkerCoded = 0;
 constexpr std::uint8_t kMarkerStored = 1;
 
-/// One parsed LZ token.
-struct Token {
-  bool is_match = false;
-  std::uint8_t literal = 0;
-  std::uint32_t length = 0;  // match only
-  std::uint32_t offset = 0;  // match only
+/// One parsed LZ sequence: a literal run followed by an optional match.
+/// Storing runs as spans into the LZ stream (instead of one heap Token per
+/// literal byte) keeps the parse allocation-free and cache-friendly — the
+/// old per-literal vector was the single largest allocation of a
+/// DeflateLz::compress call.
+struct Seq {
+  const std::uint8_t* lit = nullptr;
+  std::uint32_t lit_len = 0;
+  std::uint32_t length = 0;  // 0 = final literal-only sequence
+  std::uint32_t offset = 0;
 };
 
+/// Per-thread scratch reused across blocks (parallel pipeline workers each
+/// hold their own copy).
+struct DeflateScratch {
+  common::Bytes lz;
+  std::vector<Seq> seqs;
+  common::Bytes coded;
+};
+
+DeflateScratch& deflate_scratch() {
+  static thread_local DeflateScratch scratch;
+  return scratch;
+}
+
 /// Parse the byte-aligned LZ4-style stream produced by lz77_compress into
-/// tokens (the format is produced locally, so structural errors indicate
+/// sequences (the format is produced locally, so structural errors indicate
 /// an internal bug and throw).
-std::vector<Token> parse_lz_stream(common::ByteSpan lz) {
-  std::vector<Token> tokens;
+void parse_lz_stream(common::ByteSpan lz, std::vector<Seq>& seqs) {
+  seqs.clear();
   const std::uint8_t* p = lz.data();
   const std::uint8_t* end = p + lz.size();
   auto read_ext = [&](std::size_t base) {
@@ -50,20 +67,25 @@ std::vector<Token> parse_lz_stream(common::ByteSpan lz) {
     const std::uint8_t token = *p++;
     std::size_t lit_len = token >> 4;
     if (lit_len == 15) lit_len = read_ext(15);
-    for (std::size_t i = 0; i < lit_len; ++i) {
-      if (p >= end) throw CodecError("deflatelz: bad internal lz stream");
-      tokens.push_back({false, *p++, 0, 0});
+    if (lit_len > static_cast<std::size_t>(end - p)) {
+      throw CodecError("deflatelz: bad internal lz stream");
     }
-    if (p == end) break;
+    Seq seq;
+    seq.lit = p;
+    seq.lit_len = static_cast<std::uint32_t>(lit_len);
+    p += lit_len;
+    if (p == end) {
+      seqs.push_back(seq);
+      break;
+    }
     if (p + 2 > end) throw CodecError("deflatelz: bad internal lz stream");
-    const std::uint32_t offset = common::load_le16(p);
+    seq.offset = common::load_le16(p);
     p += 2;
     std::size_t match_len = (token & 15) + kMinMatch;
     if ((token & 15) == 15) match_len = read_ext(15 + kMinMatch);
-    tokens.push_back({true, 0, static_cast<std::uint32_t>(match_len),
-                      offset});
+    seq.length = static_cast<std::uint32_t>(match_len);
+    seqs.push_back(seq);
   }
-  return tokens;
 }
 
 /// Length slot for (match length - kMinMatch).
@@ -83,24 +105,24 @@ std::size_t DeflateLz::compress(common::ByteSpan src,
     return 1;
   }
 
-  // LZ parse (MediumLz effort).
+  // LZ parse (MediumLz effort), into per-thread scratch buffers.
   Lz77Params params;
   params.hash_bits = 16;
   params.chain_depth = 8;
   params.lazy = true;
-  common::Bytes lz(lz77_max_compressed_size(src.size()));
-  lz.resize(lz77_compress(src, lz, params));
-  const std::vector<Token> tokens = parse_lz_stream(lz);
+  DeflateScratch& scratch = deflate_scratch();
+  scratch.lz.resize(lz77_max_compressed_size(src.size()));
+  scratch.lz.resize(lz77_compress(src, scratch.lz, params));
+  parse_lz_stream(scratch.lz, scratch.seqs);
 
   // Frequencies.
   std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
   std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
-  for (const Token& t : tokens) {
-    if (t.is_match) {
-      ++lit_freq[256 + len_slot(t.length - kMinMatch)];
-      ++dist_freq[std::bit_width(t.offset) - 1];
-    } else {
-      ++lit_freq[t.literal];
+  for (const Seq& s : scratch.seqs) {
+    for (std::uint32_t i = 0; i < s.lit_len; ++i) ++lit_freq[s.lit[i]];
+    if (s.length != 0) {
+      ++lit_freq[256 + len_slot(s.length - kMinMatch)];
+      ++dist_freq[std::bit_width(s.offset) - 1];
     }
   }
   ++lit_freq[kEob];
@@ -110,26 +132,27 @@ std::size_t DeflateLz::compress(common::ByteSpan src,
   const HuffmanEncoder lit_enc(lit_lengths);
   const HuffmanEncoder dist_enc(dist_lengths);
 
-  common::Bytes out;
+  common::Bytes& out = scratch.coded;
+  out.clear();
   out.reserve(src.size() / 2);
   out.push_back(kMarkerCoded);
   BitWriter bw(out);
   for (const auto l : lit_lengths) bw.write(l, 4);
   for (const auto l : dist_lengths) bw.write(l, 4);
-  for (const Token& t : tokens) {
-    if (!t.is_match) {
-      lit_enc.encode(bw, t.literal);
-      continue;
+  for (const Seq& s : scratch.seqs) {
+    for (std::uint32_t i = 0; i < s.lit_len; ++i) {
+      lit_enc.encode(bw, s.lit[i]);
     }
-    const std::uint32_t v = t.length - kMinMatch;
+    if (s.length == 0) continue;
+    const std::uint32_t v = s.length - kMinMatch;
     const std::uint32_t slot = len_slot(v);
     lit_enc.encode(bw, 256 + slot);
     if (slot > 1) bw.write(v & ((1u << (slot - 1)) - 1u), slot - 1);
     const std::uint32_t dslot =
-        static_cast<std::uint32_t>(std::bit_width(t.offset));
+        static_cast<std::uint32_t>(std::bit_width(s.offset));
     dist_enc.encode(bw, dslot - 1);
     if (dslot > 1) {
-      bw.write(t.offset & ((1u << (dslot - 1)) - 1u), dslot - 1);
+      bw.write(s.offset & ((1u << (dslot - 1)) - 1u), dslot - 1);
     }
   }
   lit_enc.encode(bw, kEob);

@@ -9,7 +9,14 @@ namespace strato::compress {
 
 common::Bytes encode_block(const Codec& codec, std::uint8_t level,
                            common::ByteSpan payload) {
-  common::Bytes frame(kFrameHeaderSize + codec.max_compressed_size(payload.size()));
+  common::Bytes frame;
+  encode_block_into(codec, level, payload, frame);
+  return frame;
+}
+
+std::size_t encode_block_into(const Codec& codec, std::uint8_t level,
+                              common::ByteSpan payload, common::Bytes& frame) {
+  frame.resize(kFrameHeaderSize + codec.max_compressed_size(payload.size()));
   std::size_t comp_size = codec.compress(
       payload, common::MutableByteSpan(frame).subspan(kFrameHeaderSize));
   std::uint8_t codec_id = codec.id();
@@ -31,7 +38,7 @@ common::Bytes encode_block(const Codec& codec, std::uint8_t level,
   common::store_le32(h + 8, static_cast<std::uint32_t>(payload.size()));
   common::store_le32(h + 12, static_cast<std::uint32_t>(comp_size));
   common::store_le64(h + 16, common::xxh64(payload));
-  return frame;
+  return frame.size();
 }
 
 FrameHeader parse_header(common::ByteSpan frame) {

@@ -50,6 +50,13 @@ struct FrameHeader {
 common::Bytes encode_block(const Codec& codec, std::uint8_t level,
                            common::ByteSpan payload);
 
+/// Allocation-free variant: encode into `frame`, reusing its capacity
+/// (typically a common::BufferPool buffer). On return frame.size() is the
+/// full frame size. Produces bytes identical to encode_block().
+/// @returns frame.size().
+std::size_t encode_block_into(const Codec& codec, std::uint8_t level,
+                              common::ByteSpan payload, common::Bytes& frame);
+
 /// Parse and validate a frame header. @throws CodecError on bad magic or
 /// truncated header.
 FrameHeader parse_header(common::ByteSpan frame);

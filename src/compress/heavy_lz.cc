@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "compress/lz_common.h"
 #include "compress/range_coder.h"
 
 namespace strato::compress {
@@ -21,7 +22,7 @@ constexpr std::uint8_t kMarkerCoded = 0;
 constexpr std::uint8_t kMarkerStored = 1;
 
 inline std::uint32_t hash32(std::uint32_t v) {
-  return (v * 2654435761u) >> (32 - kHashBits);
+  return detail::lz_hash32(v, kHashBits);
 }
 
 /// The per-block adaptive model set. Reset per block (self-contained).
@@ -53,34 +54,34 @@ struct Match {
   std::size_t dist = 0;
 };
 
-/// Deep hash-chain match finder over the whole block.
+/// Deep hash-chain match finder over the whole block. Chain arrays come
+/// from the per-thread MatchScratch (no allocation per block); the prefix
+/// scan is word-at-a-time (lz_match_length) instead of byte-at-a-time,
+/// which is where the deep-chain HEAVY search spends most of its time.
 class ChainFinder {
  public:
-  explicit ChainFinder(common::ByteSpan src)
-      : src_(src.data()),
-        n_(src.size()),
-        head_(std::size_t{1} << kHashBits, kNoPos),
-        prev_(src.size(), kNoPos) {}
+  ChainFinder(common::ByteSpan src, detail::MatchScratch& scratch)
+      : src_(src.data()), n_(src.size()), scratch_(scratch) {
+    scratch_.prepare(kHashBits, src.size());
+  }
 
   Match find(std::size_t i) const {
     Match best;
     if (i + kMinMatch > n_) return best;
     const std::uint8_t* limit = src_ + n_;
-    std::uint32_t cand = head_[hash32(load_tail(i))];
+    std::uint32_t cand = scratch_.head[hash32(load_tail(i))];
     int depth = kChainDepth;
-    while (cand != kNoPos && depth-- > 0) {
+    while (cand != detail::kLzNoPos && depth-- > 0) {
       const std::size_t c = cand;
       if (i - c > kMaxDist) break;
-      std::size_t len = 0;
-      const std::uint8_t* a = src_ + i;
-      const std::uint8_t* b = src_ + c;
-      while (a + len < limit && a[len] == b[len]) ++len;
+      const std::size_t len =
+          detail::lz_match_length(src_ + i, src_ + c, limit);
       if (len >= kMinMatch && len > best.len) {
         best.len = len;
         best.dist = i - c;
         if (len >= kMaxLen) break;  // long enough, stop searching
       }
-      cand = prev_[c];
+      cand = scratch_.prev[c];
     }
     best.len = std::min(best.len, kMaxLen);
     return best;
@@ -89,13 +90,11 @@ class ChainFinder {
   void insert(std::size_t i) {
     if (i + kMinMatch > n_) return;
     const std::uint32_t h = hash32(load_tail(i));
-    prev_[i] = head_[h];
-    head_[h] = static_cast<std::uint32_t>(i);
+    scratch_.prev[i] = scratch_.head[h];
+    scratch_.head[h] = static_cast<std::uint32_t>(i);
   }
 
  private:
-  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
-
   /// 4-byte load that is safe near the end of the block.
   std::uint32_t load_tail(std::size_t i) const {
     if (i + 4 <= n_) return common::load_u32(src_ + i);
@@ -106,8 +105,7 @@ class ChainFinder {
 
   const std::uint8_t* src_;
   std::size_t n_;
-  std::vector<std::uint32_t> head_;
-  std::vector<std::uint32_t> prev_;
+  detail::MatchScratch& scratch_;
 };
 
 }  // namespace
@@ -124,7 +122,7 @@ std::size_t HeavyLz::compress(common::ByteSpan src,
 
   RangeEncoder enc;
   auto models = std::make_unique<Models>();
-  ChainFinder finder(src);
+  ChainFinder finder(src, detail::match_scratch());
 
   std::size_t i = 0;
   std::uint32_t prev_byte = 0;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "compress/lz_common.h"
+
 namespace strato::compress {
 namespace {
 
@@ -15,29 +17,9 @@ constexpr std::size_t kMaxOffset = 65535;
 constexpr std::size_t kTailLiterals = 5;
 constexpr std::size_t kMatchGuard = 12;
 
-inline std::uint32_t hash32(std::uint32_t v, int bits) {
-  return (v * 2654435761u) >> (32 - bits);
-}
-
-/// Length of the common prefix of [a..limit) and [b..), a > b.
-inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
-                                const std::uint8_t* limit) {
-  const std::uint8_t* start = a;
-  while (a + 8 <= limit) {
-    const std::uint64_t diff = common::load_u64(a) ^ common::load_u64(b);
-    if (diff != 0) {
-      return static_cast<std::size_t>(a - start) +
-             static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
-    }
-    a += 8;
-    b += 8;
-  }
-  while (a < limit && *a == *b) {
-    ++a;
-    ++b;
-  }
-  return static_cast<std::size_t>(a - start);
-}
+using detail::kLzNoPos;
+using detail::lz_hash32;
+using detail::lz_match_length;
 
 /// Output cursor with LZ4-style token emission.
 class SeqWriter {
@@ -84,37 +66,41 @@ struct Match {
 };
 
 /// Hash-chain match finder over one block. chain_depth 0 degrades to a
-/// single-probe table (the FAST path).
+/// single-probe table (the FAST path). The head/prev arrays live in the
+/// per-thread MatchScratch, so compressing a block allocates nothing.
 class MatchFinder {
  public:
-  MatchFinder(common::ByteSpan src, const Lz77Params& p)
+  MatchFinder(common::ByteSpan src, const Lz77Params& p,
+              detail::MatchScratch& scratch)
       : src_(src.data()),
         n_(src.size()),
         params_(p),
-        head_(std::size_t{1} << p.hash_bits, kNoPos),
-        prev_(p.chain_depth > 0 ? src.size() : 0, kNoPos) {}
+        use_chain_(p.chain_depth > 0),
+        scratch_(scratch) {
+    scratch_.prepare(p.hash_bits, use_chain_ ? src.size() : 0);
+  }
 
   /// Best match at position i (i + kMatchGuard <= n). Returns len 0 if none.
   Match find(std::size_t i) const {
     const std::uint32_t h =
-        hash32(common::load_u32(src_ + i), params_.hash_bits);
-    std::uint32_t cand = head_[h];
+        lz_hash32(common::load_u32(src_ + i), params_.hash_bits);
+    std::uint32_t cand = scratch_.head[h];
     Match best;
     const std::uint8_t* limit = src_ + n_ - kTailLiterals;
     int depth = std::max(1, params_.chain_depth);
-    while (cand != kNoPos && depth-- > 0) {
+    while (cand != kLzNoPos && depth-- > 0) {
       const std::size_t c = cand;
       if (i - c > kMaxOffset) break;
       if (common::load_u32(src_ + c) == common::load_u32(src_ + i)) {
         const std::size_t len =
-            match_length(src_ + i, src_ + c, limit);
+            lz_match_length(src_ + i, src_ + c, limit);
         if (len >= kMinMatch && len > best.len) {
           best.len = len;
           best.offset = i - c;
         }
       }
-      if (prev_.empty()) break;
-      cand = prev_[c];
+      if (!use_chain_) break;
+      cand = scratch_.prev[c];
     }
     return best;
   }
@@ -122,18 +108,17 @@ class MatchFinder {
   /// Register position i in the hash structures.
   void insert(std::size_t i) {
     const std::uint32_t h =
-        hash32(common::load_u32(src_ + i), params_.hash_bits);
-    if (!prev_.empty()) prev_[i] = head_[h];
-    head_[h] = static_cast<std::uint32_t>(i);
+        lz_hash32(common::load_u32(src_ + i), params_.hash_bits);
+    if (use_chain_) scratch_.prev[i] = scratch_.head[h];
+    scratch_.head[h] = static_cast<std::uint32_t>(i);
   }
 
  private:
-  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
   const std::uint8_t* src_;
   std::size_t n_;
   Lz77Params params_;
-  std::vector<std::uint32_t> head_;
-  std::vector<std::uint32_t> prev_;
+  bool use_chain_;
+  detail::MatchScratch& scratch_;
 };
 
 }  // namespace
@@ -156,7 +141,7 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
     return out.written();
   }
 
-  MatchFinder finder(buffer, params);
+  MatchFinder finder(buffer, params, detail::match_scratch());
   // Pre-warm the hash structures with the retained window so matches can
   // reach back into previous blocks.
   if (h > 0 && n >= 4) {

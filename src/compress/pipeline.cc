@@ -1,0 +1,124 @@
+#include "compress/pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "compress/framing.h"
+
+namespace strato::compress {
+
+namespace {
+
+std::size_t coerce_workers(std::size_t n) { return n == 0 ? 1 : n; }
+
+std::size_t coerce_depth(const PipelineConfig& cfg) {
+  const std::size_t d =
+      cfg.depth == 0 ? 2 * coerce_workers(cfg.worker_count) : cfg.depth;
+  return d == 0 ? 1 : d;
+}
+
+}  // namespace
+
+ParallelBlockPipeline::ParallelBlockPipeline(const CodecRegistry& registry,
+                                             PipelineConfig config,
+                                             FrameSink sink)
+    : registry_(registry),
+      sink_(std::move(sink)),
+      depth_(coerce_depth(config)),
+      slots_(depth_),
+      // raw + frame per in-flight block, both usually back in the free
+      // list while a block is between acquire points.
+      pool_(2 * depth_ + 2),
+      workers_(coerce_workers(config.worker_count)) {}
+
+ParallelBlockPipeline::~ParallelBlockPipeline() {
+  // ThreadPool's destructor (member order: constructed last, destroyed
+  // first) drains every accepted job, so no worker can touch slots_ after
+  // this body runs. Undelivered frames are simply dropped.
+  workers_.shutdown();
+}
+
+void ParallelBlockPipeline::submit(int level, common::ByteSpan payload) {
+  // Opportunistically drain ready frames, then make room in the window.
+  deliver_ready(false);
+  while (next_seq_ - deliver_seq_ >= depth_) {
+    deliver_ready(true);
+  }
+
+  const int max_level = static_cast<int>(registry_.level_count()) - 1;
+  const std::uint64_t seq = next_seq_++;
+  Slot& slot = slots_[seq % depth_];
+  slot.state = Slot::State::kPending;
+  slot.level = std::clamp(level, 0, max_level);
+  slot.raw_size = payload.size();
+  slot.error = nullptr;
+  slot.raw = pool_.acquire(payload.size());
+  slot.raw.resize(payload.size());
+  std::memcpy(slot.raw.data(), payload.data(), payload.size());
+
+  workers_.submit([this, seq] { compress_slot(seq); });
+}
+
+void ParallelBlockPipeline::compress_slot(std::uint64_t seq) {
+  Slot& slot = slots_[seq % depth_];
+  std::exception_ptr error;
+  common::Bytes frame = pool_.acquire(
+      kFrameHeaderSize + slot.raw_size + slot.raw_size / 128 + 64);
+  try {
+    const Codec& codec =
+        *registry_.level(static_cast<std::size_t>(slot.level)).codec;
+    encode_block_into(codec, static_cast<std::uint8_t>(slot.level),
+                      slot.raw, frame);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard lk(mu_);
+    slot.frame = std::move(frame);
+    slot.error = error;
+    slot.state = Slot::State::kReady;
+  }
+  ready_cv_.notify_all();
+}
+
+void ParallelBlockPipeline::deliver_ready(bool wait_for_one) {
+  for (;;) {
+    if (deliver_seq_ == next_seq_) return;  // nothing outstanding
+    Slot& slot = slots_[deliver_seq_ % depth_];
+    {
+      std::unique_lock lk(mu_);
+      if (slot.state != Slot::State::kReady) {
+        if (!wait_for_one) return;
+        ready_cv_.wait(
+            lk, [&] { return slot.state == Slot::State::kReady; });
+      }
+    }
+    // Past this point the slot belongs to the submitting thread again: the
+    // worker finished (kReady) and no new submit can reuse it before
+    // deliver_seq_ advances.
+    common::Bytes frame = std::move(slot.frame);
+    common::Bytes raw = std::move(slot.raw);
+    const std::size_t raw_size = slot.raw_size;
+    const int level = slot.level;
+    const std::exception_ptr error = slot.error;
+    slot = Slot{};
+    ++deliver_seq_;
+    pool_.release(std::move(raw));
+    if (error != nullptr) {
+      pool_.release(std::move(frame));
+      std::rethrow_exception(error);
+    }
+    sink_(frame, raw_size, level);
+    pool_.release(std::move(frame));
+    if (wait_for_one) return;  // made room; caller decides whether to loop
+  }
+}
+
+void ParallelBlockPipeline::flush() {
+  while (deliver_seq_ != next_seq_) {
+    deliver_ready(true);
+  }
+}
+
+}  // namespace strato::compress

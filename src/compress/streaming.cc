@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.h"
+
 namespace strato::compress {
 
 namespace {
@@ -21,27 +23,30 @@ void roll(common::Bytes& history, common::ByteSpan added,
 }  // namespace
 
 common::Bytes StreamingLzCompressor::compress_block(common::ByteSpan raw) {
-  // Contiguous work buffer: retained window followed by the new block.
-  common::Bytes buffer;
-  buffer.reserve(history_.size() + raw.size());
-  buffer.insert(buffer.end(), history_.begin(), history_.end());
-  buffer.insert(buffer.end(), raw.begin(), raw.end());
+  // Contiguous work buffer (retained window followed by the new block),
+  // recycled through the shared pool — one fewer per-block allocation.
+  common::PooledBuffer buffer(common::BufferPool::shared(),
+                              history_.size() + raw.size());
+  buffer->insert(buffer->end(), history_.begin(), history_.end());
+  buffer->insert(buffer->end(), raw.begin(), raw.end());
 
   common::Bytes out(lz77_max_compressed_size(raw.size()));
   out.resize(
-      lz77_compress_with_history(buffer, history_.size(), out, params_));
+      lz77_compress_with_history(*buffer, history_.size(), out, params_));
   roll(history_, raw, window_);
   return out;
 }
 
 common::Bytes StreamingLzDecompressor::decompress_block(
     common::ByteSpan comp, std::size_t raw_size) {
-  common::Bytes buffer(history_.size() + raw_size);
-  std::copy(history_.begin(), history_.end(), buffer.begin());
-  lz77_decompress_with_history(comp, buffer, history_.size(), raw_size);
-  common::Bytes raw(buffer.begin() +
+  common::PooledBuffer buffer(common::BufferPool::shared(),
+                              history_.size() + raw_size);
+  buffer->resize(history_.size() + raw_size);
+  std::copy(history_.begin(), history_.end(), buffer->begin());
+  lz77_decompress_with_history(comp, *buffer, history_.size(), raw_size);
+  common::Bytes raw(buffer->begin() +
                         static_cast<std::ptrdiff_t>(history_.size()),
-                    buffer.end());
+                    buffer->end());
   roll(history_, raw, window_);
   return raw;
 }

@@ -30,6 +30,13 @@ int AdaptiveController::clamp_probe(int ncl) const {
 }
 
 Decision AdaptiveController::on_window(double cdr) {
+  // A rate can only be a finite non-negative number; a NaN/inf/negative
+  // input (e.g. a zero-length measurement window) must not poison pdr, or
+  // every later comparison would silently misfire. Treat it as "rate
+  // unchanged".
+  if (!std::isfinite(cdr) || cdr < 0.0) {
+    cdr = pdr_ < 0.0 ? 0.0 : pdr_;
+  }
   // "On the first call of the decision algorithm, pdr is set to cdr."
   if (pdr_ < 0.0) pdr_ = cdr;
 

@@ -59,6 +59,10 @@ class AdaptiveController {
 
   /// Feed the application data rate (bytes/second or any consistent unit)
   /// of the window that just closed; returns the level to apply next.
+  /// With parallel block compression this is still the single aggregate
+  /// rate at which the writer's sink accepted data — the decision model
+  /// stays application-data-rate-only regardless of worker count.
+  /// Non-finite or negative inputs are treated as "rate unchanged".
   Decision on_window(double cdr);
 
   /// Current compression level (ccl).

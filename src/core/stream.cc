@@ -2,20 +2,35 @@
 
 #include <cstring>
 
+#include "common/buffer_pool.h"
+
 namespace strato::core {
 
 CompressingWriter::CompressingWriter(ByteSink& sink,
                                      const compress::CodecRegistry& registry,
                                      CompressionPolicy& policy,
                                      const common::Clock& clock,
-                                     std::size_t block_size)
+                                     std::size_t block_size,
+                                     std::size_t worker_count,
+                                     std::size_t pipeline_depth)
     : sink_(sink),
       registry_(registry),
       policy_(policy),
       clock_(clock),
       block_size_(block_size == 0 ? compress::kDefaultBlockSize : block_size),
       buffer_(block_size_),
-      blocks_per_level_(registry.level_count(), 0) {}
+      blocks_per_level_(registry.level_count(), 0) {
+  if (worker_count > 1) {
+    compress::PipelineConfig cfg;
+    cfg.worker_count = worker_count;
+    cfg.depth = pipeline_depth;
+    pipeline_ = std::make_unique<compress::ParallelBlockPipeline>(
+        registry, cfg,
+        [this](common::ByteSpan frame, std::size_t raw_size, int level) {
+          account_frame(frame, raw_size, level);
+        });
+  }
+}
 
 void CompressingWriter::write(common::ByteSpan data) {
   std::size_t off = 0;
@@ -31,23 +46,38 @@ void CompressingWriter::write(common::ByteSpan data) {
 
 void CompressingWriter::flush() {
   if (buffered_ > 0) emit_block();
+  if (pipeline_) pipeline_->flush();
   sink_.flush();
+}
+
+void CompressingWriter::account_frame(common::ByteSpan frame,
+                                      std::size_t raw_size, int level) {
+  // The sink write may have blocked (backpressure); sample time after it
+  // returns so the policy sees the achievable application data rate. With
+  // the parallel pipeline this runs on the submitting thread in submission
+  // order, so the rate meter aggregates accepted bytes across all workers.
+  sink_.write(frame);
+  raw_bytes_ += raw_size;
+  framed_bytes_ += frame.size();
+  ++blocks_per_level_[static_cast<std::size_t>(level)];
+  policy_.on_block(raw_size, clock_.now());
 }
 
 void CompressingWriter::emit_block() {
   const int max_level = static_cast<int>(registry_.level_count()) - 1;
   const int level = std::clamp(policy_.level(), 0, max_level);
-  const auto& rung = registry_.level(static_cast<std::size_t>(level));
   const common::ByteSpan payload(buffer_.data(), buffered_);
-  const common::Bytes frame = compress::encode_block(
-      *rung.codec, static_cast<std::uint8_t>(level), payload);
-  sink_.write(frame);
-  // The sink write may have blocked (backpressure); sample time after it
-  // returns so the policy sees the achievable application data rate.
-  raw_bytes_ += buffered_;
-  framed_bytes_ += frame.size();
-  ++blocks_per_level_[static_cast<std::size_t>(level)];
-  policy_.on_block(buffered_, clock_.now());
+  if (pipeline_) {
+    pipeline_->submit(level, payload);
+    buffered_ = 0;
+    return;
+  }
+  const auto& rung = registry_.level(static_cast<std::size_t>(level));
+  common::PooledBuffer frame(common::BufferPool::shared(),
+                             compress::kFrameHeaderSize + payload.size());
+  compress::encode_block_into(*rung.codec, static_cast<std::uint8_t>(level),
+                              payload, *frame);
+  account_frame(*frame, buffered_, level);
   buffered_ = 0;
 }
 

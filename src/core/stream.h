@@ -17,6 +17,7 @@
 #include "common/bytes.h"
 #include "common/sim_time.h"
 #include "compress/framing.h"
+#include "compress/pipeline.h"
 #include "compress/registry.h"
 #include "core/policy.h"
 
@@ -33,16 +34,25 @@ class ByteSink {
 };
 
 /// Application-facing compressing writer.
+///
+/// With worker_count > 1 blocks are compressed concurrently on a
+/// ParallelBlockPipeline and re-sequenced before the sink; the wire bytes
+/// are identical to the serial path and the policy still observes the
+/// aggregate application data rate on the writing thread.
 class CompressingWriter {
  public:
-  /// @param sink        downstream I/O layer
-  /// @param registry    ordered compression levels
-  /// @param policy      level selection strategy (static / adaptive / ...)
-  /// @param clock       time source for the policy (wall or simulated)
-  /// @param block_size  channel block size (paper: 128 KB)
+  /// @param sink           downstream I/O layer
+  /// @param registry       ordered compression levels
+  /// @param policy         level selection strategy (static / adaptive / ...)
+  /// @param clock          time source for the policy (wall or simulated)
+  /// @param block_size     channel block size (paper: 128 KB)
+  /// @param worker_count   compression threads; 1 = serial on the caller
+  /// @param pipeline_depth reorder-window depth; 0 = 2 * worker_count
   CompressingWriter(ByteSink& sink, const compress::CodecRegistry& registry,
                     CompressionPolicy& policy, const common::Clock& clock,
-                    std::size_t block_size = compress::kDefaultBlockSize);
+                    std::size_t block_size = compress::kDefaultBlockSize,
+                    std::size_t worker_count = 1,
+                    std::size_t pipeline_depth = 0);
 
   /// Accept application data; emits framed blocks as they fill.
   void write(common::ByteSpan data);
@@ -61,6 +71,7 @@ class CompressingWriter {
 
  private:
   void emit_block();
+  void account_frame(common::ByteSpan frame, std::size_t raw_size, int level);
 
   ByteSink& sink_;
   const compress::CodecRegistry& registry_;
@@ -72,6 +83,7 @@ class CompressingWriter {
   std::uint64_t raw_bytes_ = 0;
   std::uint64_t framed_bytes_ = 0;
   std::vector<std::uint64_t> blocks_per_level_;
+  std::unique_ptr<compress::ParallelBlockPipeline> pipeline_;
 };
 
 /// Receiving side: feed framed bytes, pop decompressed blocks.

@@ -91,7 +91,8 @@ class CompressedChannelBase : public Channel {
                         std::size_t block_size, core::ByteSink& sink)
       : registry_(registry),
         policy_(make_policy(spec, registry)),
-        compressing_writer_(sink, registry, *policy_, clock_, block_size),
+        compressing_writer_(sink, registry, *policy_, clock_, block_size,
+                            spec.worker_count, spec.pipeline_depth),
         decompressing_reader_(registry) {}
 
   ChannelStats stats() const override {

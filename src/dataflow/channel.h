@@ -75,6 +75,21 @@ struct CompressionSpec {
   core::AdaptiveConfig adaptive;
   /// Decision interval t for the adaptive mode (paper: 2 s).
   common::SimTime window = common::SimTime::seconds(2);
+  /// Compression worker threads. 1 (default) compresses serially on the
+  /// writing task's thread; > 1 fans blocks out to a ParallelBlockPipeline.
+  /// The wire format is identical either way.
+  std::size_t worker_count = 1;
+  /// Reorder-window depth (max blocks in flight); 0 = 2 * worker_count.
+  std::size_t pipeline_depth = 0;
+
+  /// Builder: enable parallel block compression on this channel.
+  [[nodiscard]] CompressionSpec with_workers(std::size_t workers,
+                                             std::size_t depth = 0) const {
+    CompressionSpec s = *this;
+    s.worker_count = workers;
+    s.pipeline_depth = depth;
+    return s;
+  }
 
   static CompressionSpec none() { return {}; }
   static CompressionSpec fixed(int level) {

@@ -85,6 +85,42 @@ TEST(NetworkChannel, AdaptiveSpecRoundTrip) {
   EXPECT_EQ(ch->stats().records, 60u);
 }
 
+TEST(NetworkChannel, ParallelWorkersRoundTrip) {
+  const auto records = make_records(corpus::Compressibility::kHigh, 40, 8000);
+  auto ch = make_network_channel(
+      nullptr, CompressionSpec::fixed(2).with_workers(4),
+      compress::CodecRegistry::standard(), 16 * 1024);
+  pump(*ch, records);
+  const auto stats = ch->stats();
+  EXPECT_EQ(stats.records, 40u);
+  EXPECT_LT(stats.wire_bytes, stats.raw_bytes / 2);
+}
+
+TEST(NetworkChannel, ParallelWireBytesMatchSerial) {
+  const auto records =
+      make_records(corpus::Compressibility::kModerate, 30, 6000);
+  auto serial = make_network_channel(nullptr, CompressionSpec::fixed(1));
+  pump(*serial, records);
+  auto parallel = make_network_channel(
+      nullptr, CompressionSpec::fixed(1).with_workers(3, /*depth=*/4));
+  pump(*parallel, records);
+  EXPECT_EQ(parallel->stats().wire_bytes, serial->stats().wire_bytes);
+  EXPECT_EQ(parallel->stats().blocks_per_level,
+            serial->stats().blocks_per_level);
+}
+
+TEST(NetworkChannel, AdaptiveWithWorkersRoundTrip) {
+  const auto records =
+      make_records(corpus::Compressibility::kModerate, 60, 10000);
+  auto ch = make_network_channel(
+      nullptr,
+      CompressionSpec::adaptive_default(common::SimTime::ms(50))
+          .with_workers(2),
+      compress::CodecRegistry::standard(), 16 * 1024);
+  pump(*ch, records);
+  EXPECT_EQ(ch->stats().records, 60u);
+}
+
 TEST(NetworkChannel, ThrottledLinkSharedByTwoChannels) {
   auto link = std::make_shared<core::LinkShare>(50e6);
   auto ch1 = make_network_channel(link, CompressionSpec::none());
