@@ -1,0 +1,32 @@
+// libFuzzer harness: the input is an application payload; every codec on
+// the extended ladder must round-trip it byte-identically through the
+// framed path. A mismatch aborts (fuzzer finding).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "compress/framing.h"
+#include "compress/registry.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace strato;
+  if (size > (1u << 20)) return 0;  // keep iterations fast
+  const auto& registry = compress::CodecRegistry::extended();
+  const common::ByteSpan payload(data, size);
+  for (std::size_t l = 0; l < registry.level_count(); ++l) {
+    const auto& rung = registry.level(l);
+    const common::Bytes frame = compress::encode_block(
+        *rung.codec, static_cast<std::uint8_t>(rung.level), payload);
+    const common::Bytes back = compress::decode_block(frame, registry);
+    if (back.size() != size ||
+        (size > 0 && std::memcmp(back.data(), data, size) != 0)) {
+      std::fprintf(stderr, "round-trip mismatch at level %s (input %zu B)\n",
+                   rung.label.c_str(), size);
+      std::abort();
+    }
+  }
+  return 0;
+}

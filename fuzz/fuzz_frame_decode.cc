@@ -1,0 +1,28 @@
+// libFuzzer harness: arbitrary bytes into the frame decode path.
+//
+// Build with -DSTRATO_FUZZ=ON (requires Clang); run e.g.
+//   ./build/fuzz/fuzz_frame_decode -max_len=65536 -runs=1000000
+//
+// Property: the assembler either cleanly throws CodecError or asks for
+// more input — any crash, hang or sanitizer report is a finding. This is
+// the coverage-guided sibling of verify::run_frame_minifuzz.
+#include <cstddef>
+#include <cstdint>
+
+#include "compress/framing.h"
+#include "compress/registry.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace strato;
+  const auto& registry = compress::CodecRegistry::extended();
+  compress::FrameAssembler assembler(registry);
+  assembler.feed(common::ByteSpan(data, size));
+  try {
+    int blocks = 0;
+    while (blocks < 1024 && assembler.next_block()) ++blocks;
+  } catch (const compress::CodecError&) {
+    // clean rejection — the expected outcome for almost every input
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Build with -DSTRATO_SANITIZE=address and run the memory-sensitive tests
+# (framing + golden vectors, codec round-trips, mutation minifuzz, the
+# differential oracle, fault injection) under AddressSanitizer — the
+# "never out-of-bounds on hostile input" half of the verification story.
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+TESTS=(
+  compress_framing_test
+  compress_golden_test
+  compress_pipeline_test
+  verify_oracle_test
+  verify_minifuzz_test
+  verify_chaos_test
+  property_test
+  fault_injection_test
+)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTRATO_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+# detect_leaks catches pooled-buffer lifetime bugs; halt_on_error keeps CI
+# signal crisp.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "== ASan: $t =="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "ASan suite clean."
+else
+  echo "ASan suite FAILED." >&2
+fi
+exit "$status"

@@ -14,6 +14,8 @@ TESTS=(
   compress_pipeline_test
   core_stream_test
   dataflow_channel_test
+  verify_oracle_test
+  verify_chaos_test
 )
 
 cmake -B "$BUILD_DIR" -S . \

@@ -48,12 +48,23 @@ FrameHeader parse_header(common::ByteSpan frame) {
   if (common::load_le32(frame.data()) != kFrameMagic) {
     throw CodecError("frame: bad magic");
   }
+  if (common::load_le16(frame.data() + 6) != 0) {
+    throw CodecError("frame: reserved bytes set");
+  }
   FrameHeader hdr;
   hdr.level = frame[4];
   hdr.codec_id = frame[5];
   hdr.raw_size = common::load_le32(frame.data() + 8);
   hdr.comp_size = common::load_le32(frame.data() + 12);
   hdr.checksum = common::load_le64(frame.data() + 16);
+  if (hdr.raw_size > kMaxFramePayload) {
+    throw CodecError("frame: implausible raw size");
+  }
+  // The encoder's stored fallback guarantees comp_size <= raw_size for
+  // every well-formed frame, so a larger value is always tampering.
+  if (hdr.comp_size > hdr.raw_size) {
+    throw CodecError("frame: compressed size exceeds raw size");
+  }
   return hdr;
 }
 

@@ -34,6 +34,12 @@ inline constexpr std::size_t kFrameHeaderSize = 24;
 inline constexpr std::uint32_t kFrameMagic = 0x314B4253u;  // "SBK1" LE
 /// The paper's channel block size.
 inline constexpr std::size_t kDefaultBlockSize = 128 * 1024;
+/// Upper bound on either size field of a well-formed frame. Real blocks
+/// top out at the configured block size (paper: 128 KB); the bound leaves
+/// generous headroom while turning a tampered length field into a clean
+/// rejection instead of a multi-GB allocation or an assembler buffering
+/// forever for a payload that can never arrive.
+inline constexpr std::size_t kMaxFramePayload = 64 * 1024 * 1024;
 
 /// Parsed frame header.
 struct FrameHeader {

@@ -14,6 +14,7 @@
 #include <mutex>
 
 #include "common/bytes.h"
+#include "common/chaos.h"
 #include "common/sim_time.h"
 #include "common/token_bucket.h"
 #include "core/stream.h"
@@ -59,6 +60,17 @@ class ThrottledPipe final : public ByteSink {
   void write(common::ByteSpan data) override;
   void flush() override {}
 
+  /// Install a deterministic fault script (verify harness). Events are
+  /// indexed by the cumulative byte offset the writer has attempted:
+  /// kStall pauses the writer, kDrop discards bytes before they enter the
+  /// pipe, kCorrupt flips bits in flight. The caller's buffer is never
+  /// modified. Must be set before the first write (single-writer side).
+  void set_chaos(common::ChaosSchedule schedule) {
+    chaos_ = std::move(schedule);
+    chaos_idx_ = 0;
+    chaos_offset_ = 0;
+  }
+
   /// Writer signals end-of-stream.
   void close();
 
@@ -69,7 +81,13 @@ class ThrottledPipe final : public ByteSink {
   [[nodiscard]] std::uint64_t transferred() const;
 
  private:
+  /// The pre-chaos write path (also the fast path with no schedule).
+  void write_clean(common::ByteSpan data);
+
   std::shared_ptr<LinkShare> link_;
+  common::ChaosSchedule chaos_;    // writer-side fault script
+  std::size_t chaos_idx_ = 0;      // next unapplied event
+  std::uint64_t chaos_offset_ = 0; // cumulative bytes attempted by writer
   mutable std::mutex mu_;
   std::condition_variable readable_;
   std::condition_variable writable_;

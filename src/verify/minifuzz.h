@@ -1,0 +1,58 @@
+// Deterministic in-process fuzzing ("minifuzz").
+//
+// A fixed-seed, fixed-budget fuzz loop that runs as an ordinary ctest
+// target: encode a group of framed blocks with the codec under test, apply
+// seeded mutations (verify::StreamMutator), feed the damaged stream to the
+// decode path and assert the correctness contract — every mutated stream
+// is either cleanly rejected with CodecError or every block that decodes
+// is byte-identical to an originally encoded block. Same seed => same
+// byte-for-byte run, summarised in an order-sensitive fingerprint so a CI
+// failure names the exact (seed, step) to replay. The optional libFuzzer
+// entry points under fuzz/ (-DSTRATO_FUZZ=ON, Clang) explore the same
+// properties coverage-guided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/registry.h"
+
+namespace strato::verify {
+
+/// Budget and seeding of one minifuzz run.
+struct MinifuzzConfig {
+  std::uint64_t seed = 0xC0DEC5EEDULL;  ///< base seed (env: STRATO_FUZZ_SEED)
+  int iterations = 10000;               ///< mutations to apply per run
+  int mutations_per_stream = 40;        ///< re-mutations of one encoded group
+  std::size_t max_payload = 8192;       ///< payload size cap per block
+};
+
+/// Outcome tallies. ok() is the pass/fail verdict; `fingerprint` is an
+/// order-sensitive digest of every individual outcome — two runs with the
+/// same config must produce identical fingerprints (determinism check).
+struct MinifuzzResult {
+  std::uint64_t iterations = 0;  ///< mutations actually applied
+  std::uint64_t rejected = 0;    ///< streams cleanly rejected (CodecError)
+  std::uint64_t intact = 0;      ///< streams that still decoded correctly
+  std::uint64_t fingerprint = 0;
+  std::vector<std::string> failures;  ///< replayable (seed, step, mutation)
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Fuzz the framed decode path for one ladder rung: encode groups of
+/// blocks with `registry.level(level)`, mutate, decode, assert the
+/// contract. Deterministic in (config, registry, level).
+MinifuzzResult run_frame_minifuzz(const compress::CodecRegistry& registry,
+                                  std::size_t level,
+                                  const MinifuzzConfig& config);
+
+/// Feed pure garbage (random bytes, random declared sizes) to every
+/// codec's decompress() and to the FrameAssembler: nothing may do anything
+/// but throw CodecError or ask for more input.
+MinifuzzResult run_garbage_minifuzz(const compress::CodecRegistry& registry,
+                                    const MinifuzzConfig& config);
+
+}  // namespace strato::verify

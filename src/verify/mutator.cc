@@ -1,0 +1,204 @@
+#include "verify/mutator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "compress/framing.h"
+
+namespace strato::verify {
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kBitFlip: return "bit-flip";
+    case MutationKind::kByteSet: return "byte-set";
+    case MutationKind::kTruncateTail: return "truncate-tail";
+    case MutationKind::kExtendTail: return "extend-tail";
+    case MutationKind::kRawSizeTamper: return "raw-size-tamper";
+    case MutationKind::kCompSizeTamper: return "comp-size-tamper";
+    case MutationKind::kCodecIdTamper: return "codec-id-tamper";
+    case MutationKind::kLevelTamper: return "level-tamper";
+    case MutationKind::kChecksumTamper: return "checksum-tamper";
+    case MutationKind::kMagicTamper: return "magic-tamper";
+    case MutationKind::kReservedTamper: return "reserved-tamper";
+    case MutationKind::kReorderFrames: return "reorder-frames";
+    case MutationKind::kDuplicateFrame: return "duplicate-frame";
+    case MutationKind::kDropFrame: return "drop-frame";
+    case MutationKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// [start, end) spans of each frame, derived from the offset table.
+std::vector<std::pair<std::size_t, std::size_t>> frame_spans(
+    const common::Bytes& wire, const std::vector<std::size_t>& offsets) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    const std::size_t start = offsets[i];
+    const std::size_t end =
+        i + 1 < offsets.size() ? offsets[i + 1] : wire.size();
+    if (start < end && end <= wire.size()) spans.emplace_back(start, end);
+  }
+  return spans;
+}
+
+}  // namespace
+
+Mutation StreamMutator::mutate(common::Bytes& wire,
+                               const std::vector<std::size_t>& frame_offsets) {
+  using compress::kFrameHeaderSize;
+  auto kind = static_cast<MutationKind>(
+      rng_.below(static_cast<std::uint64_t>(MutationKind::kCount)));
+
+  const auto spans = frame_spans(wire, frame_offsets);
+  // Frames with a complete header still inside the (possibly shorter) wire.
+  std::vector<std::size_t> headered;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].first + kFrameHeaderSize <= wire.size()) headered.push_back(i);
+  }
+
+  // Degrade structured kinds gracefully on streams that cannot host them.
+  if (wire.empty()) {
+    kind = MutationKind::kExtendTail;
+  } else {
+    switch (kind) {
+      case MutationKind::kRawSizeTamper:
+      case MutationKind::kCompSizeTamper:
+      case MutationKind::kCodecIdTamper:
+      case MutationKind::kLevelTamper:
+      case MutationKind::kChecksumTamper:
+      case MutationKind::kMagicTamper:
+      case MutationKind::kReservedTamper:
+        if (headered.empty()) kind = MutationKind::kBitFlip;
+        break;
+      case MutationKind::kReorderFrames:
+        if (spans.size() < 2) kind = MutationKind::kBitFlip;
+        break;
+      case MutationKind::kDuplicateFrame:
+      case MutationKind::kDropFrame:
+        if (spans.empty()) kind = MutationKind::kBitFlip;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::ostringstream desc;
+  switch (kind) {
+    case MutationKind::kBitFlip: {
+      const std::size_t pos = rng_.below(wire.size());
+      const int bit = static_cast<int>(rng_.below(8));
+      wire[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      desc << "bit " << bit << " at byte " << pos;
+      break;
+    }
+    case MutationKind::kByteSet: {
+      const std::size_t pos = rng_.below(wire.size());
+      wire[pos] = static_cast<std::uint8_t>(rng_());
+      desc << "byte " << pos;
+      break;
+    }
+    case MutationKind::kTruncateTail: {
+      const std::size_t keep = rng_.below(wire.size() + 1);
+      wire.resize(keep);
+      desc << "kept " << keep << " bytes";
+      break;
+    }
+    case MutationKind::kExtendTail: {
+      const std::size_t n = 1 + rng_.below(64);
+      for (std::size_t i = 0; i < n; ++i) {
+        wire.push_back(static_cast<std::uint8_t>(rng_()));
+      }
+      desc << "appended " << n << " bytes";
+      break;
+    }
+    case MutationKind::kRawSizeTamper:
+    case MutationKind::kCompSizeTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      const std::size_t field =
+          spans[f].first + (kind == MutationKind::kRawSizeTamper ? 8 : 12);
+      // Mix small deltas (off-by-one) with wild values (overflow bait).
+      std::uint32_t v = common::load_le32(wire.data() + field);
+      switch (rng_.below(3)) {
+        case 0: v += 1; break;
+        case 1: v = v == 0 ? 1 : v - 1; break;
+        default: v = static_cast<std::uint32_t>(rng_()); break;
+      }
+      common::store_le32(wire.data() + field, v);
+      desc << "frame " << f << " -> " << v;
+      break;
+    }
+    case MutationKind::kCodecIdTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      wire[spans[f].first + 5] = static_cast<std::uint8_t>(rng_());
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kLevelTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      wire[spans[f].first + 4] = static_cast<std::uint8_t>(rng_());
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kChecksumTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      const std::size_t pos = spans[f].first + 16 + rng_.below(8);
+      wire[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+      desc << "frame " << f << " byte " << pos;
+      break;
+    }
+    case MutationKind::kMagicTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      const std::size_t pos = spans[f].first + rng_.below(4);
+      wire[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kReservedTamper: {
+      const std::size_t f = headered[rng_.below(headered.size())];
+      wire[spans[f].first + 6 + rng_.below(2)] =
+          static_cast<std::uint8_t>(1 + rng_.below(255));
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kReorderFrames: {
+      const std::size_t a = rng_.below(spans.size());
+      std::size_t b = rng_.below(spans.size());
+      if (b == a) b = (a + 1) % spans.size();
+      common::Bytes out;
+      out.reserve(wire.size());
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        const auto& s = spans[i == a ? b : (i == b ? a : i)];
+        out.insert(out.end(), wire.begin() + static_cast<std::ptrdiff_t>(s.first),
+                   wire.begin() + static_cast<std::ptrdiff_t>(s.second));
+      }
+      wire = std::move(out);
+      desc << "swapped frames " << a << " and " << b;
+      break;
+    }
+    case MutationKind::kDuplicateFrame: {
+      const std::size_t f = rng_.below(spans.size());
+      const common::Bytes copy(
+          wire.begin() + static_cast<std::ptrdiff_t>(spans[f].first),
+          wire.begin() + static_cast<std::ptrdiff_t>(spans[f].second));
+      wire.insert(wire.begin() + static_cast<std::ptrdiff_t>(spans[f].second),
+                  copy.begin(), copy.end());
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kDropFrame: {
+      const std::size_t f = rng_.below(spans.size());
+      wire.erase(wire.begin() + static_cast<std::ptrdiff_t>(spans[f].first),
+                 wire.begin() + static_cast<std::ptrdiff_t>(spans[f].second));
+      desc << "frame " << f;
+      break;
+    }
+    case MutationKind::kCount:
+      break;
+  }
+  return {kind, std::string(to_string(kind)) + " (" + desc.str() + ")"};
+}
+
+}  // namespace strato::verify

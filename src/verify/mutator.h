@@ -1,0 +1,67 @@
+// Seeded, replayable corruption of framed wire streams.
+//
+// The chaos half of the verification story: take a well-formed sequence of
+// framed blocks and damage it the way a hostile channel would — bit flips,
+// truncations, tampered length/codec-id/checksum fields, reordered,
+// duplicated or dropped frames. Every mutation is drawn from a seeded
+// Xoshiro256, so a failing case is reproducible from (seed, step) alone.
+// The correctness contract the minifuzz runner asserts on top: a mutated
+// stream is either *cleanly rejected* (CodecError) or every block that
+// does decode is byte-identical to a block that was originally encoded —
+// never UB, out-of-bounds access, or silent data change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace strato::verify {
+
+/// The corruption classes the mutator can apply.
+enum class MutationKind : std::uint8_t {
+  kBitFlip = 0,      ///< flip one random bit anywhere in the stream
+  kByteSet,          ///< overwrite one random byte with a random value
+  kTruncateTail,     ///< cut the stream short
+  kExtendTail,       ///< append random garbage
+  kRawSizeTamper,    ///< rewrite a frame's raw-size field
+  kCompSizeTamper,   ///< rewrite a frame's compressed-size field
+  kCodecIdTamper,    ///< rewrite a frame's codec id
+  kLevelTamper,      ///< rewrite a frame's level byte
+  kChecksumTamper,   ///< flip bits in a frame's checksum
+  kMagicTamper,      ///< damage a frame's magic
+  kReservedTamper,   ///< set the reserved header bytes
+  kReorderFrames,    ///< swap two whole frames
+  kDuplicateFrame,   ///< insert a copy of one frame
+  kDropFrame,        ///< remove one whole frame
+  kCount,
+};
+
+/// Name of a mutation kind (failure messages).
+const char* to_string(MutationKind kind);
+
+/// Description of one applied mutation, sufficient to understand a repro.
+struct Mutation {
+  MutationKind kind = MutationKind::kBitFlip;
+  std::string description;
+};
+
+/// Applies seeded random mutations to a framed wire stream in place.
+class StreamMutator {
+ public:
+  explicit StreamMutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Apply one random mutation to `wire`. `frame_offsets` are the start
+  /// offsets of each frame inside `wire` (pre-mutation layout); frame-
+  /// structured kinds fall back to byte-level kinds when the stream has
+  /// no usable frame. Returns what was done.
+  Mutation mutate(common::Bytes& wire,
+                  const std::vector<std::size_t>& frame_offsets);
+
+ private:
+  common::Xoshiro256 rng_;
+};
+
+}  // namespace strato::verify

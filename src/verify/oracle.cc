@@ -1,0 +1,165 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compress/framing.h"
+#include "compress/pipeline.h"
+
+namespace strato::verify {
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  os << checks << " checks, " << failures.size() << " failures";
+  for (const auto& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+namespace {
+
+/// First divergence between two buffers, for failure context.
+std::string diff_context(common::ByteSpan a, common::ByteSpan b) {
+  std::ostringstream os;
+  if (a.size() != b.size()) {
+    os << "size " << a.size() << " vs " << b.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      os << "first diff at byte " << i << " (0x" << std::hex
+         << static_cast<int>(a[i]) << " vs 0x" << static_cast<int>(b[i])
+         << ")";
+      return os.str();
+    }
+  }
+  return "identical";
+}
+
+}  // namespace
+
+void Oracle::check_roundtrip(common::ByteSpan data, const std::string& tag,
+                             OracleReport& report) const {
+  for (std::size_t l = 0; l < registry_.level_count(); ++l) {
+    const auto& rung = registry_.level(l);
+    const compress::Codec& codec = *rung.codec;
+    const std::string where = tag + " level=" + rung.label;
+
+    // Raw codec round-trip + worst-case bound.
+    ++report.checks;
+    common::Bytes comp;
+    try {
+      comp = codec.compress(data);
+    } catch (const std::exception& e) {
+      report.failures.push_back(where + ": compress threw: " + e.what());
+      continue;
+    }
+    if (comp.size() > codec.max_compressed_size(data.size())) {
+      report.failures.push_back(
+          where + ": compressed size " + std::to_string(comp.size()) +
+          " exceeds max_compressed_size bound " +
+          std::to_string(codec.max_compressed_size(data.size())));
+    }
+    ++report.checks;
+    try {
+      const common::Bytes back = codec.decompress(comp, data.size());
+      if (!std::equal(back.begin(), back.end(), data.begin(), data.end())) {
+        report.failures.push_back(where + ": raw round-trip diverged (" +
+                                  diff_context(back, data) + ")");
+      }
+    } catch (const std::exception& e) {
+      report.failures.push_back(where +
+                                ": decompress of own output threw: " +
+                                e.what());
+    }
+
+    // Framed path: encode_block applies the stored fallback and checksum.
+    ++report.checks;
+    try {
+      const common::Bytes frame = compress::encode_block(
+          codec, static_cast<std::uint8_t>(rung.level), data);
+      const common::Bytes back = compress::decode_block(frame, registry_);
+      if (!std::equal(back.begin(), back.end(), data.begin(), data.end())) {
+        report.failures.push_back(where + ": framed round-trip diverged (" +
+                                  diff_context(back, data) + ")");
+      }
+    } catch (const std::exception& e) {
+      report.failures.push_back(where + ": framed round-trip threw: " +
+                                e.what());
+    }
+  }
+}
+
+common::Bytes Oracle::serial_wire(const std::vector<common::Bytes>& payloads,
+                                  const std::vector<int>& levels) const {
+  const int max_level = static_cast<int>(registry_.level_count()) - 1;
+  common::Bytes wire;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const int level =
+        std::clamp(i < levels.size() ? levels[i] : 0, 0, max_level);
+    const auto& rung = registry_.level(static_cast<std::size_t>(level));
+    const common::Bytes frame = compress::encode_block(
+        *rung.codec, static_cast<std::uint8_t>(level), payloads[i]);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  return wire;
+}
+
+void Oracle::check_pipeline_identity(
+    const std::vector<common::Bytes>& payloads, const std::vector<int>& levels,
+    const std::vector<std::size_t>& worker_counts,
+    OracleReport& report) const {
+  const common::Bytes reference = serial_wire(payloads, levels);
+  for (const std::size_t workers : worker_counts) {
+    const std::string where = "workers=" + std::to_string(workers);
+    common::Bytes wire;
+    {
+      compress::PipelineConfig cfg;
+      cfg.worker_count = workers;
+      compress::ParallelBlockPipeline pipeline(
+          registry_, cfg,
+          [&wire](common::ByteSpan frame, std::size_t, int) {
+            wire.insert(wire.end(), frame.begin(), frame.end());
+          });
+      for (std::size_t i = 0; i < payloads.size(); ++i) {
+        pipeline.submit(i < levels.size() ? levels[i] : 0, payloads[i]);
+      }
+      pipeline.flush();
+    }
+    ++report.checks;
+    if (wire != reference) {
+      report.failures.push_back(where + ": wire differs from serial path (" +
+                                diff_context(wire, reference) + ")");
+      continue;  // decoding a divergent wire would double-report
+    }
+    // Decode the parallel wire end to end: payload sequence must survive.
+    ++report.checks;
+    compress::FrameAssembler assembler(registry_);
+    assembler.feed(wire);
+    std::size_t got = 0;
+    try {
+      while (auto block = assembler.next_block()) {
+        if (got >= payloads.size()) {
+          report.failures.push_back(where + ": decoded more blocks than "
+                                            "submitted");
+          break;
+        }
+        if (*block != payloads[got]) {
+          report.failures.push_back(where + ": block " + std::to_string(got) +
+                                    " diverged after decode (" +
+                                    diff_context(*block, payloads[got]) + ")");
+        }
+        ++got;
+      }
+    } catch (const std::exception& e) {
+      report.failures.push_back(where + ": decode of pipeline wire threw: " +
+                                e.what());
+    }
+    if (got != payloads.size()) {
+      report.failures.push_back(where + ": decoded " + std::to_string(got) +
+                                " of " + std::to_string(payloads.size()) +
+                                " blocks");
+    }
+  }
+}
+
+}  // namespace strato::verify

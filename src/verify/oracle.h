@@ -1,0 +1,66 @@
+// Differential verification oracle.
+//
+// The paper's correctness contract (Section III-B) is that every framed
+// block is self-contained and decodes to exactly the bytes the application
+// wrote, whatever codec the policy picked and however many pipeline
+// workers produced it. The Oracle checks that contract differentially:
+//
+//   * round-trip identity of every registered codec on the same input,
+//     including the worst-case output-size bound and the framed path;
+//   * wire identity of compress::ParallelBlockPipeline against the serial
+//     encoder at arbitrary worker counts — on the wire the two must be
+//     byte-indistinguishable.
+//
+// Failures are collected (not thrown) with enough context to replay, so a
+// single run reports every divergence at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "compress/registry.h"
+
+namespace strato::verify {
+
+/// Accumulated verdict of one or more oracle checks.
+struct OracleReport {
+  std::uint64_t checks = 0;            ///< individual assertions evaluated
+  std::vector<std::string> failures;   ///< one replayable line per failure
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// Human-readable digest ("N checks, M failures" + each failure line).
+  [[nodiscard]] std::string summary() const;
+};
+
+class Oracle {
+ public:
+  explicit Oracle(const compress::CodecRegistry& registry)
+      : registry_(registry) {}
+
+  /// Differential round-trip of `data` through every level of the
+  /// registry: raw codec round-trip, max_compressed_size bound, and the
+  /// framed encode/decode path. `tag` labels failures (e.g. the seed).
+  void check_roundtrip(common::ByteSpan data, const std::string& tag,
+                       OracleReport& report) const;
+
+  /// Serial reference wire: each payload framed at its level (clamped to
+  /// the ladder), concatenated in order.
+  [[nodiscard]] common::Bytes serial_wire(
+      const std::vector<common::Bytes>& payloads,
+      const std::vector<int>& levels) const;
+
+  /// Byte-identity of the parallel pipeline against serial_wire() at each
+  /// worker count, plus full decode of the parallel wire back to the
+  /// submitted payload sequence.
+  void check_pipeline_identity(const std::vector<common::Bytes>& payloads,
+                               const std::vector<int>& levels,
+                               const std::vector<std::size_t>& worker_counts,
+                               OracleReport& report) const;
+
+ private:
+  const compress::CodecRegistry& registry_;
+};
+
+}  // namespace strato::verify

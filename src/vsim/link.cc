@@ -58,7 +58,12 @@ double SharedLink::fg_rate(common::SimTime now) {
 }
 
 double SharedLink::capacity(common::SimTime now) {
-  return nominal_ * fluct_.factor(now);
+  double cap = nominal_ * fluct_.factor(now);
+  if (!chaos_.empty()) {
+    cap *= chaos_.capacity_factor(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, now.nanos())));
+  }
+  return cap;
 }
 
 }  // namespace strato::vsim

@@ -16,6 +16,7 @@
 // link, as Fig. 2 and Wang & Ng report).
 #pragma once
 
+#include "common/chaos.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "vsim/profile.h"
@@ -65,11 +66,19 @@ class SharedLink {
   void set_bg_flows(int k) { bg_flows_ = k < 0 ? 0 : k; }
   [[nodiscard]] int bg_flows() const { return bg_flows_; }
 
+  /// Install a scripted outage schedule (verify harness): every kBlackout
+  /// event multiplies the capacity by its factor during [at, at+span) ns
+  /// of virtual time — a switch brown-out the controller must ride through.
+  void set_chaos(common::ChaosSchedule schedule) {
+    chaos_ = std::move(schedule);
+  }
+
  private:
   double nominal_;
   FluctuationProcess fluct_;
   int bg_flows_;
   double bg_weight_;
+  common::ChaosSchedule chaos_;
 };
 
 }  // namespace strato::vsim

@@ -36,6 +36,7 @@ struct Buckets {
 TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
   const VirtProfile& prof = profile(config_.tech);
   SharedLink link(prof, config_.bg_flows, config_.seed);
+  if (!config_.link_chaos.empty()) link.set_chaos(config_.link_chaos);
   common::Xoshiro256 rng(config_.seed ^ 0x7245F0000000AB01ULL);
 
   // Host-generation spread (Schad et al., cited in Section V): each run

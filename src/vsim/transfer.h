@@ -69,6 +69,9 @@ struct TransferConfig {
   /// the build machine. The paper's levels ran as Java libraries inside
   /// Nephele on 2008 Xeons — ~0.4 mimics that regime (EXPERIMENTS.md).
   double codec_speed_factor = 1.0;
+  /// Scripted link outages (kBlackout events, virtual-time ns) applied to
+  /// the shared link — the verify harness's replayable chaos hook.
+  common::ChaosSchedule link_chaos;
 };
 
 /// Experiment outcome.

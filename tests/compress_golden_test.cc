@@ -1,0 +1,224 @@
+// Golden wire-format vectors.
+//
+// The frame layout (magic, level, codec id, sizes, XXH64) and the encoded
+// bytes of every ladder rung are locked against checked-in hex files under
+// tests/data/. Three guarantees, strongest first:
+//
+//   1. decoder compatibility — every golden frame still decodes to the
+//      expected payload (old wire data must stay readable forever);
+//   2. header layout — field offsets and values re-derived by hand match
+//      parse_header();
+//   3. encoder determinism — encoding the reference payload today yields
+//      the golden bytes exactly.
+//
+// A deliberate encoder change invalidates only (3): regenerate with
+//   STRATO_REGEN_GOLDEN=1 ./build/tests/compress_golden_test
+// and commit the diff — which makes the wire-format change reviewable.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "compress/framing.h"
+#include "compress/registry.h"
+
+namespace strato::compress {
+namespace {
+
+#ifndef STRATO_TEST_DATA_DIR
+#error "STRATO_TEST_DATA_DIR must point at tests/data (set by CMake)"
+#endif
+
+std::string data_path(const std::string& name) {
+  return std::string(STRATO_TEST_DATA_DIR) + "/" + name;
+}
+
+bool regen() { return std::getenv("STRATO_REGEN_GOLDEN") != nullptr; }
+
+/// Reference payload: pure arithmetic (platform- and library-independent),
+/// mixing compressible structure (repeats, ramps) with irregular bytes so
+/// every codec exercises literals and matches.
+common::Bytes reference_payload() {
+  common::Bytes data;
+  data.reserve(6000);
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(static_cast<std::uint8_t>((i * i + 7 * i) >> 3));
+  }
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int i = 0; i < 500; ++i) {
+      data.push_back(static_cast<std::uint8_t>(i % 97));
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(static_cast<std::uint8_t>((i * 2654435761u) >> 13));
+  }
+  return data;
+}
+
+/// Incompressible payload (seeded PRNG): forces the stored fallback.
+common::Bytes incompressible_payload() {
+  common::Xoshiro256 rng(0x901D);
+  common::Bytes data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  return data;
+}
+
+std::string to_hex(const common::Bytes& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2 + bytes.size() / 16);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.push_back(digits[bytes[i] >> 4]);
+    out.push_back(digits[bytes[i] & 0xF]);
+    if (i % 32 == 31) out.push_back('\n');
+  }
+  if (!out.empty() && out.back() != '\n') out.push_back('\n');
+  return out;
+}
+
+common::Bytes from_hex(const std::string& text) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  common::Bytes out;
+  int hi = -1;
+  for (const char c : text) {
+    const int v = nibble(c);
+    if (v < 0) continue;  // whitespace
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  return out;
+}
+
+/// Load a golden file, or (re)write it when STRATO_REGEN_GOLDEN is set.
+common::Bytes golden(const std::string& name, const common::Bytes& current) {
+  const std::string path = data_path(name);
+  if (regen()) {
+    std::ofstream out(path, std::ios::trunc);
+    out << to_hex(current);
+    EXPECT_TRUE(out.good()) << "failed to write " << path;
+    std::fprintf(stderr, "[golden] regenerated %s (%zu bytes)\n", path.c_str(),
+                 current.size());
+    return current;
+  }
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with STRATO_REGEN_GOLDEN=1 to create it";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_hex(text.str());
+}
+
+std::string lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+TEST(Golden, EveryExtendedLadderRung) {
+  const auto& registry = CodecRegistry::extended();
+  const common::Bytes payload = reference_payload();
+  for (std::size_t l = 0; l < registry.level_count(); ++l) {
+    const auto& rung = registry.level(l);
+    SCOPED_TRACE("level=" + rung.label);
+    const common::Bytes frame = encode_block(
+        *rung.codec, static_cast<std::uint8_t>(rung.level), payload);
+    const common::Bytes gold =
+        golden("frame_" + lower(rung.label) + ".hex", frame);
+
+    // 1. Decoder compatibility: the stored bytes decode to the payload.
+    EXPECT_EQ(decode_block(gold, registry), payload);
+    // 2. Layout lock on the stored bytes (see the header test below for
+    //    the hand re-derivation).
+    const FrameHeader hdr = parse_header(gold);
+    EXPECT_EQ(hdr.level, rung.level);
+    EXPECT_EQ(hdr.raw_size, payload.size());
+    EXPECT_EQ(hdr.checksum, common::xxh64(payload));
+    EXPECT_EQ(gold.size(), kFrameHeaderSize + hdr.comp_size);
+    // 3. Encoder determinism: today's encoder reproduces the golden bytes.
+    EXPECT_EQ(frame, gold)
+        << "wire bytes changed — if intentional, regenerate goldens with "
+           "STRATO_REGEN_GOLDEN=1 and commit the diff";
+  }
+}
+
+TEST(Golden, StoredFallbackFrame) {
+  const auto& registry = CodecRegistry::extended();
+  const common::Bytes payload = incompressible_payload();
+  // HEAVY on random bytes must fall back to stored: codec id NULL, comp
+  // size == raw size, level byte preserved.
+  const auto& heavy = registry.level(registry.level_count() - 1);
+  const common::Bytes frame = encode_block(
+      *heavy.codec, static_cast<std::uint8_t>(heavy.level), payload);
+  const common::Bytes gold = golden("frame_stored_fallback.hex", frame);
+
+  EXPECT_EQ(decode_block(gold, registry), payload);
+  const FrameHeader hdr = parse_header(gold);
+  EXPECT_EQ(hdr.codec_id, kCodecNull);
+  EXPECT_EQ(hdr.level, heavy.level);
+  EXPECT_EQ(hdr.comp_size, hdr.raw_size);
+  EXPECT_EQ(frame, gold);
+}
+
+TEST(Golden, EmptyPayloadFrame) {
+  const auto& registry = CodecRegistry::extended();
+  const common::Bytes frame = encode_block(*registry.level(2).codec, 2, {});
+  const common::Bytes gold = golden("frame_empty.hex", frame);
+  EXPECT_EQ(decode_block(gold, registry).size(), 0u);
+  EXPECT_EQ(gold.size(), kFrameHeaderSize);
+  EXPECT_EQ(frame, gold);
+}
+
+TEST(Golden, HeaderLayoutRederivedByHand) {
+  // Independent re-derivation of the layout documented in framing.h: any
+  // accidental change to offsets, endianness or the magic constant fails
+  // here even if encoder and parser drift together.
+  const common::Bytes payload = reference_payload();
+  const auto& registry = CodecRegistry::extended();
+  const auto& rung = registry.level(1);  // LIGHT
+  const common::Bytes frame = encode_block(
+      *rung.codec, static_cast<std::uint8_t>(rung.level), payload);
+
+  ASSERT_GE(frame.size(), kFrameHeaderSize);
+  EXPECT_EQ(kFrameHeaderSize, 24u);
+  // magic "SBK1", little-endian at offset 0
+  EXPECT_EQ(frame[0], 'S');
+  EXPECT_EQ(frame[1], 'B');
+  EXPECT_EQ(frame[2], 'K');
+  EXPECT_EQ(frame[3], '1');
+  EXPECT_EQ(common::load_le32(frame.data()), kFrameMagic);
+  // level at 4, codec id at 5, reserved zeros at 6..7
+  EXPECT_EQ(frame[4], rung.level);
+  EXPECT_EQ(frame[5], rung.codec->id());
+  EXPECT_EQ(frame[6], 0);
+  EXPECT_EQ(frame[7], 0);
+  // raw size LE at 8, comp size LE at 12, XXH64(raw payload) LE at 16
+  EXPECT_EQ(common::load_le32(frame.data() + 8), payload.size());
+  EXPECT_EQ(common::load_le32(frame.data() + 12),
+            frame.size() - kFrameHeaderSize);
+  EXPECT_EQ(common::load_le64(frame.data() + 16), common::xxh64(payload));
+
+  // The hand-derived fields agree with the parser.
+  const FrameHeader hdr = parse_header(frame);
+  EXPECT_EQ(hdr.level, frame[4]);
+  EXPECT_EQ(hdr.codec_id, frame[5]);
+  EXPECT_EQ(hdr.raw_size, common::load_le32(frame.data() + 8));
+  EXPECT_EQ(hdr.comp_size, common::load_le32(frame.data() + 12));
+  EXPECT_EQ(hdr.checksum, common::load_le64(frame.data() + 16));
+}
+
+}  // namespace
+}  // namespace strato::compress

@@ -8,9 +8,19 @@
 #include "compress/streaming.h"
 #include "core/controller.h"
 #include "corpus/generator.h"
+#include "verify/seed.h"
 
 namespace strato {
 namespace {
+
+/// Seed for one parameterized case: the suite's Range index XORed with an
+/// env-overridable base, so `STRATO_PROPERTY_SEED=N ctest -R property`
+/// replays (or re-randomizes) every case. Announced once per process.
+std::uint64_t property_seed(std::uint64_t param) {
+  static const std::uint64_t base = verify::announce_seed(
+      "STRATO_PROPERTY_SEED", verify::seed_from_env("STRATO_PROPERTY_SEED", 0));
+  return base ^ param;
+}
 
 /// Adversarial byte-string generator: runs, copies, noise, structure.
 common::Bytes adversarial(common::Xoshiro256& rng, std::size_t target) {
@@ -54,7 +64,9 @@ common::Bytes adversarial(common::Xoshiro256& rng, std::size_t target) {
 class DifferentialCodecs : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DifferentialCodecs, EveryCodecRoundTripsEveryInput) {
-  common::Xoshiro256 rng(GetParam());
+  const std::uint64_t seed = property_seed(GetParam());
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  common::Xoshiro256 rng(seed);
   const auto data = adversarial(rng, 1 + rng.below(200000));
   const auto& reg = compress::CodecRegistry::extended();
   for (std::size_t l = 0; l < reg.level_count(); ++l) {
@@ -75,7 +87,9 @@ class GarbageDecompression : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(GarbageDecompression, NeverCrashesOnRandomInput) {
   // Feeding arbitrary bytes to any decompressor must either throw
   // CodecError or produce *some* output — never crash, hang, or scribble.
-  common::Xoshiro256 rng(GetParam());
+  const std::uint64_t seed = property_seed(GetParam());
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  common::Xoshiro256 rng(seed);
   const auto& reg = compress::CodecRegistry::extended();
   for (int trial = 0; trial < 20; ++trial) {
     common::Bytes garbage(1 + rng.below(5000));
@@ -108,7 +122,7 @@ TEST(StreamingEquivalence, FirstBlockMatchesIndependentCompression) {
 }
 
 TEST(FrameFuzz, GarbageStreamsAreRejectedNotMisparsed) {
-  common::Xoshiro256 rng(11);
+  common::Xoshiro256 rng(property_seed(11));
   const auto& reg = compress::CodecRegistry::standard();
   for (int trial = 0; trial < 50; ++trial) {
     compress::FrameAssembler assembler(reg);

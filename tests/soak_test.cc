@@ -13,11 +13,17 @@
 #include "core/throttled_pipe.h"
 #include "corpus/generator.h"
 #include "corpus/schedule.h"
+#include "verify/seed.h"
 
 namespace strato {
 namespace {
 
 TEST(Soak, AdaptivePipelineSurvivesViolentLinkChanges) {
+  // Replayable: STRATO_SOAK_SEED drives both the link chaos and the
+  // workload generator (printed up front so a red run can be replayed).
+  const std::uint64_t seed = verify::announce_seed(
+      "STRATO_SOAK_SEED", verify::seed_from_env("STRATO_SOAK_SEED", 1));
+  SCOPED_TRACE("STRATO_SOAK_SEED=" + std::to_string(seed));
   constexpr std::size_t kTotal = 128 << 20;
   auto link = std::make_shared<core::LinkShare>(20e6);
   core::ThrottledPipe pipe(link);
@@ -25,7 +31,7 @@ TEST(Soak, AdaptivePipelineSurvivesViolentLinkChanges) {
   // Chaos monkey: re-roll the link rate between 2 and 200 MB/s.
   std::atomic<bool> stop{false};
   std::thread chaos([&] {
-    common::Xoshiro256 rng(1);
+    common::Xoshiro256 rng(seed);
     while (!stop.load()) {
       link->set_rate(rng.uniform(2e6, 200e6));
       std::this_thread::sleep_for(std::chrono::milliseconds(150));
@@ -65,7 +71,7 @@ TEST(Soak, AdaptivePipelineSurvivesViolentLinkChanges) {
   core::CompressingWriter writer(pipe, compress::CodecRegistry::standard(),
                                  policy, clock);
   corpus::ScheduledGenerator gen(
-      corpus::parse_schedule("HIGH:12M,LOW:6M,MODERATE:12M"), 2);
+      corpus::parse_schedule("HIGH:12M,LOW:6M,MODERATE:12M"), seed + 1);
   common::Xxh64State sent;
   common::Bytes chunk(128 * 1024);
   for (std::size_t done = 0; done < kTotal; done += chunk.size()) {

@@ -1,0 +1,169 @@
+// Differential oracle: codec round-trip identity across registries and
+// serial-vs-parallel wire identity of the block pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "compress/registry.h"
+#include "corpus/generator.h"
+#include "verify/oracle.h"
+#include "verify/seed.h"
+
+namespace strato::verify {
+namespace {
+
+common::Bytes corpus_payload(corpus::Compressibility c, std::uint64_t seed,
+                             std::size_t n) {
+  auto gen = corpus::make_generator(c, seed);
+  return corpus::take(*gen, n);
+}
+
+// Adversarial payload shapes: long runs, periodic data, near-random noise,
+// self-similar copies — the inputs most likely to stress match finders.
+common::Bytes adversarial_payload(std::uint64_t seed, std::size_t n) {
+  common::Xoshiro256 rng(seed);
+  common::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    switch (rng.below(4)) {
+      case 0: {  // run
+        const auto b = static_cast<std::uint8_t>(rng());
+        for (std::uint64_t i = 0, len = 1 + rng.below(512); i < len; ++i)
+          out.push_back(b);
+        break;
+      }
+      case 1: {  // noise
+        for (std::uint64_t i = 0, len = 1 + rng.below(256); i < len; ++i)
+          out.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+      }
+      case 2: {  // self-copy
+        if (out.empty()) break;
+        const std::size_t src = rng.below(out.size());
+        for (std::uint64_t i = 0, len = 1 + rng.below(512); i < len; ++i)
+          out.push_back(out[src + (i % (out.size() - src))]);
+        break;
+      }
+      default: {  // ramp
+        auto b = static_cast<std::uint8_t>(rng());
+        for (std::uint64_t i = 0, len = 1 + rng.below(128); i < len; ++i)
+          out.push_back(b++);
+        break;
+      }
+    }
+  }
+  out.resize(n);
+  return out;
+}
+
+TEST(Oracle, RoundTripStandardAndExtendedRegistries) {
+  const std::uint64_t seed = announce_seed(
+      "STRATO_ORACLE_SEED", seed_from_env("STRATO_ORACLE_SEED", 0xA11CE));
+  for (const auto* registry : {&compress::CodecRegistry::standard(),
+                               &compress::CodecRegistry::extended()}) {
+    Oracle oracle(*registry);
+    OracleReport report;
+    for (int i = 0; i < 12; ++i) {
+      const auto s = seed + static_cast<std::uint64_t>(i);
+      oracle.check_roundtrip(
+          corpus_payload(static_cast<corpus::Compressibility>(i % 3), s,
+                         1000 + i * 7777),
+          "corpus/" + std::to_string(i), report);
+      oracle.check_roundtrip(adversarial_payload(s, 500 + i * 3333),
+                             "adversarial/" + std::to_string(i), report);
+    }
+    oracle.check_roundtrip({}, "empty", report);
+    const common::Bytes one(1, 0x42);
+    oracle.check_roundtrip(one, "one-byte", report);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_GT(report.checks, 0u);
+  }
+}
+
+TEST(Oracle, PipelineWireIdenticalToSerialAtAllWorkerCounts) {
+  const std::uint64_t seed = announce_seed(
+      "STRATO_ORACLE_SEED", seed_from_env("STRATO_ORACLE_SEED", 0xA11CE));
+  common::Xoshiro256 rng(seed);
+  const auto& registry = compress::CodecRegistry::standard();
+  Oracle oracle(registry);
+
+  std::vector<common::Bytes> payloads;
+  std::vector<int> levels;
+  for (int i = 0; i < 40; ++i) {
+    payloads.push_back(
+        rng.below(2) == 0
+            ? corpus_payload(static_cast<corpus::Compressibility>(rng.below(3)),
+                             rng(), 1 + rng.below(40000))
+            : adversarial_payload(rng(), 1 + rng.below(40000)));
+    levels.push_back(static_cast<int>(rng.below(registry.level_count())));
+  }
+  payloads.emplace_back();  // empty block mid-stream is legal
+  levels.push_back(0);
+
+  OracleReport report;
+  oracle.check_pipeline_identity(payloads, levels, {1, 2, 4, 8}, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(Oracle, ExtendedLadderPipelineIdentity) {
+  const auto& registry = compress::CodecRegistry::extended();
+  Oracle oracle(registry);
+  std::vector<common::Bytes> payloads;
+  std::vector<int> levels;
+  for (int i = 0; i < static_cast<int>(registry.level_count()) * 3; ++i) {
+    payloads.push_back(adversarial_payload(77 + i, 5000 + i * 911));
+    levels.push_back(i % static_cast<int>(registry.level_count()));
+  }
+  OracleReport report;
+  oracle.check_pipeline_identity(payloads, levels, {1, 3}, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// A codec that decompresses to the wrong bytes: the oracle must catch it
+// and report enough context to act on, proving the harness can actually
+// fail (a test of the test).
+class LyingCodec final : public compress::Codec {
+ public:
+  [[nodiscard]] std::uint8_t id() const override { return compress::kCodecNull; }
+  [[nodiscard]] std::string name() const override { return "lying"; }
+  [[nodiscard]] std::size_t max_compressed_size(std::size_t raw) const override {
+    return raw;
+  }
+  std::size_t compress(common::ByteSpan src,
+                       common::MutableByteSpan dst) const override {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return src.size();
+  }
+  std::size_t decompress(common::ByteSpan src,
+                         common::MutableByteSpan dst) const override {
+    std::copy(src.begin(), src.end(), dst.begin());
+    if (!dst.empty()) dst[0] ^= 0xFF;  // silent corruption
+    return src.size();
+  }
+  using Codec::compress;
+  using Codec::decompress;
+};
+
+TEST(Oracle, DetectsMisbehavingCodec) {
+  compress::CodecRegistry broken;
+  broken.add_level("LIAR", std::make_unique<LyingCodec>());
+  Oracle oracle(broken);
+  OracleReport report;
+  const auto payload = adversarial_payload(3, 2048);
+  oracle.check_roundtrip(payload, "liar-case", report);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.failures.empty());
+  // The failure line must carry the caller's tag so it is replayable.
+  EXPECT_NE(report.failures.front().find("liar-case"), std::string::npos)
+      << report.summary();
+}
+
+}  // namespace
+}  // namespace strato::verify
