@@ -10,6 +10,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
+# Static gate first: a lint violation or thread-safety error fails the run
+# before any sanitizer build time is spent.
+scripts/check_static.sh --lint-only
+
 TESTS=(
   compress_framing_test
   compress_golden_test

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static gate: strato-lint (project rules) + lint selftest, then — when a
+# clang++ is on PATH — a full configure/build with -Wthread-safety
+# promoted to an error so every STRATO_GUARDED_BY / STRATO_REQUIRES
+# annotation in src/ is machine-checked. Under GCC-only containers the
+# thread-safety leg is skipped with a note; the lint gate always runs.
+#
+# Usage: scripts/check_static.sh [--lint-only] [build-dir]
+#   --lint-only   skip the Clang thread-safety build (fast presubmit gate)
+#   build-dir     Clang build tree (default: build-threadsafety)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LINT_ONLY=0
+if [ "${1:-}" = "--lint-only" ]; then
+  LINT_ONLY=1
+  shift
+fi
+BUILD_DIR="${1:-build-threadsafety}"
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "check_static: $PYTHON not found — cannot run strato-lint" >&2
+  exit 1
+fi
+
+echo "== strato-lint: selftest =="
+"$PYTHON" scripts/strato_lint.py --selftest
+
+echo "== strato-lint: src/ =="
+"$PYTHON" scripts/strato_lint.py
+
+if [ "$LINT_ONLY" -eq 1 ]; then
+  echo "check_static: lint gate clean (--lint-only, thread-safety build skipped)."
+  exit 0
+fi
+
+CLANGXX="${CLANGXX:-clang++}"
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "check_static: $CLANGXX not found — skipping -Wthread-safety build" \
+       "(annotations compile to nothing under GCC; lint gate is still binding)."
+  exit 0
+fi
+
+echo "== clang -Wthread-safety -Werror build =="
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_CXX_COMPILER="$CLANGXX" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTRATO_THREAD_SAFETY=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+echo "check_static: clean (lint + thread-safety)."

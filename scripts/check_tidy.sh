@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run clang-tidy (root .clang-tidy: bugprone-*, concurrency-*,
+# performance-*) over src/ using the compilation database that every
+# configure exports (CMAKE_EXPORT_COMPILE_COMMANDS ON). No-ops cleanly
+# when clang-tidy is not installed so GCC-only containers stay green.
+#
+# Usage: scripts/check_tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "check_tidy: $TIDY not found — skipping (install clang-tidy to enable)."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "check_tidy: $BUILD_DIR/compile_commands.json missing — configuring."
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "== clang-tidy over ${#SOURCES[@]} files =="
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "check_tidy: clean."

@@ -9,8 +9,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
+# Static gate first: a lint violation or thread-safety error fails the run
+# before any sanitizer build time is spent.
+scripts/check_static.sh --lint-only
+
 TESTS=(
   common_concurrency_test
+  common_lockgraph_test
   compress_pipeline_test
   core_stream_test
   dataflow_channel_test
@@ -30,7 +35,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 status=0
 for t in "${TESTS[@]}"; do
   echo "== TSan: $t =="
-  if ! "$BUILD_DIR/tests/$t"; then
+  # common_lockgraph_test provokes AB/BA inversions on purpose (that is
+  # what common::LockGraph must catch); TSan's own deadlock detector
+  # flags the same inversions, so silence it for just that binary —
+  # data-race detection stays on.
+  opts="$TSAN_OPTIONS"
+  if [ "$t" = "common_lockgraph_test" ]; then
+    opts="$opts detect_deadlocks=0"
+  fi
+  if ! TSAN_OPTIONS="$opts" "$BUILD_DIR/tests/$t"; then
     status=1
   fi
 done

@@ -3,8 +3,18 @@
 # extensions and model validation, teeing each bench's output into
 # results/. Usage: scripts/run_all_experiments.sh [build-dir] [results-dir]
 set -u
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 BUILD="${1:-build}"
 OUT="${2:-results}"
+
+# Fail fast on the static gate: numbers from a tree that violates the
+# project rules (wall-clock in vsim, unguarded shared state) are not
+# reproducible numbers.
+if ! "$SCRIPT_DIR/check_static.sh" --lint-only; then
+  echo "static gate failed — fix lint violations before running experiments" >&2
+  exit 1
+fi
+
 mkdir -p "$OUT"
 
 if [ ! -d "$BUILD/bench" ]; then

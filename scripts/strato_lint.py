@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""strato-lint: project-rule linter for the strato tree.
+
+Mechanical rules that -Wall cannot express, enforced over src/ and wired
+into every presubmit script (check_static.sh runs this first):
+
+  wallclock        src/vsim and src/verify are deterministic, virtual-time
+                   worlds: std::chrono::system_clock, time(), rand()/srand()
+                   and std::random_device are banned there (seeded RNGs and
+                   SimTime only), so every simulation and fuzz run replays.
+  raw-mutex        all locking goes through common::Mutex / MutexLock /
+                   CondVar (common/mutex.h) so Clang -Wthread-safety and the
+                   LockGraph deadlock detector see it; raw std::mutex,
+                   std::lock_guard, std::unique_lock, std::scoped_lock,
+                   std::condition_variable and friends are banned in src/
+                   outside the wrapper and the detector it feeds.
+  stdout           the library must not write to stdout (bench/example
+                   output is parsed by scripts); std::cout / printf / puts
+                   are banned in src/ outside common/logging.cc. stderr
+                   (fprintf(stderr, ...), std::cerr in logging) is fine.
+  nodiscard        status-returning APIs (bool try_*(), std::optional<T>
+                   returners) must be [[nodiscard]] — dropping a failed
+                   try_push is exactly how metrics silently lie.
+  pragma-once      every header starts with #pragma once.
+  using-namespace  `using namespace std` is banned in src/.
+  include-path     project includes are "dir/file.h" from the src/ root:
+                   no "../" traversal, no <bits/...> internals.
+
+Escape hatch: append `// strato-lint: allow(rule)` (comma-separate several
+rules) to the offending line, or put the comment alone on the preceding
+line. Every allow is a reviewable artifact — grep for `strato-lint:` to
+audit them.
+
+Usage:
+  strato_lint.py [--root DIR]    lint DIR/src (default: repo root)
+  strato_lint.py --selftest      run against tests/lint_fixtures and
+                                 verify every seeded violation is caught
+Exit status: 0 clean, 1 violations (or selftest mismatch), 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+# Files that ARE the sanctioned home of raw primitives.
+RAW_MUTEX_ALLOWED = {
+    "common/mutex.h",
+    "common/lock_graph.h",
+    "common/lock_graph.cc",
+    "common/thread_annotations.h",
+}
+
+STDOUT_ALLOWED = {
+    "common/logging.cc",
+    "common/logging.h",
+}
+
+WALLCLOCK_DIRS = ("vsim/", "verify/")
+
+RULES = {
+    "wallclock": [
+        (re.compile(r"system_clock"), "std::chrono::system_clock"),
+        (re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\("), "rand()/srand()"),
+        (re.compile(r"(?<![A-Za-z0-9_])time\s*\("), "time()"),
+        (re.compile(r"random_device"), "std::random_device"),
+    ],
+    "raw-mutex": [
+        (re.compile(r"std::(timed_|recursive_|shared_)?mutex\b"), "raw std mutex type"),
+        (re.compile(r"std::(lock_guard|unique_lock|scoped_lock)\b"), "raw std lock"),
+        (re.compile(r"std::condition_variable(_any)?\b"), "raw std condition variable"),
+        (re.compile(r"std::call_once\b|pthread_mutex"), "raw once/pthread locking"),
+    ],
+    "stdout": [
+        (re.compile(r"std::cout\b"), "std::cout"),
+        (re.compile(r"(?<![A-Za-z0-9_:])(?:std::)?printf\s*\("), "printf to stdout"),
+        (re.compile(r"(?<![A-Za-z0-9_])puts\s*\("), "puts()"),
+        (re.compile(r"fprintf\s*\(\s*stdout"), "fprintf(stdout, ...)"),
+    ],
+    "using-namespace": [
+        (re.compile(r"\busing\s+namespace\s+std\b"), "using namespace std"),
+    ],
+    "include-path": [
+        (re.compile(r'#\s*include\s+"\.\./'), 'relative "../" include'),
+        (re.compile(r"#\s*include\s+<bits/"), "<bits/...> internal header"),
+    ],
+}
+
+# nodiscard is declaration-shaped rather than token-shaped.
+NODISCARD_DECL = re.compile(
+    r"^\s*(?:virtual\s+)?(?:bool\s+try_\w+|std::optional<[^;=]*>\s+\w+)\s*\("
+)
+
+ALLOW_RE = re.compile(r"//\s*strato-lint:\s*allow\(([^)]*)\)")
+
+SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comments(lines):
+    """Blank out //- and /* */-comment text (allow() markers are extracted
+    before this runs). Keeps line count and column positions stable enough
+    for reporting. String literals are not parsed — the rules target
+    identifiers that do not plausibly appear in strings."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            result.append(line[i])
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def allowed_rules(raw_lines, idx):
+    """Rules suppressed for line idx (same line or the preceding line)."""
+    rules = set()
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[probe])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path: Path, rel: str):
+    findings = []
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as ex:
+        return [Finding(rel, 0, "io", f"unreadable: {ex}")]
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments(raw_lines)
+
+    is_header = path.suffix in {".h", ".hh", ".hpp"}
+    in_wallclock_dir = any(rel.startswith(d) for d in WALLCLOCK_DIRS)
+
+    # pragma-once: file-level; allow() anywhere in the first 5 lines.
+    # Checked on comment-stripped lines so prose about the directive
+    # doesn't satisfy it.
+    has_pragma_once = any(
+        line.strip().startswith("#pragma once") for line in code_lines)
+    if is_header and not has_pragma_once:
+        head_allows = set()
+        for probe in range(min(5, len(raw_lines))):
+            m = ALLOW_RE.search(raw_lines[probe])
+            if m:
+                head_allows.update(r.strip() for r in m.group(1).split(","))
+        if "pragma-once" not in head_allows:
+            findings.append(
+                Finding(rel, 1, "pragma-once", "header lacks #pragma once"))
+
+    for idx, code in enumerate(code_lines):
+        if not code.strip():
+            continue
+        line_no = idx + 1
+        allows = None  # computed lazily, most lines are clean
+
+        def check(rule, patterns):
+            nonlocal allows
+            for pattern, what in patterns:
+                if pattern.search(code):
+                    if allows is None:
+                        allows = allowed_rules(raw_lines, idx)
+                    if rule not in allows:
+                        findings.append(Finding(rel, line_no, rule, what))
+
+        if in_wallclock_dir:
+            check("wallclock", RULES["wallclock"])
+        if rel not in RAW_MUTEX_ALLOWED:
+            check("raw-mutex", RULES["raw-mutex"])
+        if rel not in STDOUT_ALLOWED:
+            check("stdout", RULES["stdout"])
+        check("using-namespace", RULES["using-namespace"])
+        check("include-path", RULES["include-path"])
+
+        if is_header and NODISCARD_DECL.search(code) \
+                and "[[nodiscard]]" not in code:
+            if allows is None:
+                allows = allowed_rules(raw_lines, idx)
+            if "nodiscard" not in allows:
+                findings.append(Finding(
+                    rel, line_no, "nodiscard",
+                    "status-returning API lacks [[nodiscard]]"))
+    return findings
+
+
+def lint_tree(root: Path):
+    src = root / "src"
+    if not src.is_dir():
+        print(f"strato-lint: no src/ under {root}", file=sys.stderr)
+        return None
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            findings.extend(lint_file(path, path.relative_to(src).as_posix()))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Selftest: the fixture tree seeds one violation per (file, rule) below and
+# one fully allow()-annotated file that must stay clean.
+# --------------------------------------------------------------------------
+
+EXPECTED_FIXTURE_FINDINGS = {
+    ("vsim/bad_clock.cc", "wallclock"): 3,
+    ("core/bad_mutex.cc", "raw-mutex"): 3,
+    ("core/bad_print.cc", "stdout"): 2,
+    ("core/bad_header.h", "pragma-once"): 1,
+    ("core/bad_header.h", "nodiscard"): 2,
+    ("core/bad_header.h", "using-namespace"): 1,
+    ("core/bad_header.h", "include-path"): 1,
+}
+
+
+def selftest(fixture_root: Path) -> int:
+    findings = lint_tree(fixture_root)
+    if findings is None:
+        return 2
+    got = {}
+    for f in findings:
+        got[(f.path, f.rule)] = got.get((f.path, f.rule), 0) + 1
+
+    status = 0
+    for key, want in EXPECTED_FIXTURE_FINDINGS.items():
+        have = got.pop(key, 0)
+        if have != want:
+            print(f"selftest: {key[0]} [{key[1]}]: expected {want} "
+                  f"finding(s), got {have}", file=sys.stderr)
+            status = 1
+    for (path, rule), count in sorted(got.items()):
+        print(f"selftest: unexpected {count} finding(s) {path} [{rule}]",
+              file=sys.stderr)
+        status = 1
+    # The allow()-annotated twin must be clean — it exercises the escape
+    # hatch for every rule.
+    if status == 0:
+        print(f"selftest OK: {len(findings)} seeded violations caught, "
+              "allow() escapes honoured")
+    return status
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root containing src/ (default: repo)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="lint tests/lint_fixtures and verify the "
+                             "seeded violations are all caught")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        fixtures = (Path(__file__).resolve().parent.parent
+                    / "tests" / "lint_fixtures")
+        return selftest(fixtures)
+
+    findings = lint_tree(args.root.resolve())
+    if findings is None:
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"strato-lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("strato-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,13 +6,16 @@ namespace strato::common {
 
 BufferPool::BufferPool(std::size_t max_buffers)
     : max_buffers_(max_buffers == 0 ? 1 : max_buffers) {
+  // Locked even though the pool is not yet shared: the analysis (and the
+  // guarded_by contract) make no constructor exception.
+  MutexLock lk(mu_);
   free_.reserve(max_buffers_);
 }
 
 Bytes BufferPool::acquire(std::size_t min_capacity) {
   Bytes buf;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     ++acquires_;
     if (!free_.empty()) {
       // Prefer a buffer that is already large enough so steady-state reuse
@@ -35,7 +38,7 @@ Bytes BufferPool::acquire(std::size_t min_capacity) {
 }
 
 void BufferPool::release(Bytes buf) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (free_.size() >= max_buffers_) {
     ++drops_;
     return;  // buf freed on scope exit
@@ -44,7 +47,7 @@ void BufferPool::release(Bytes buf) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return {acquires_, reuses_, drops_, free_.size()};
 }
 

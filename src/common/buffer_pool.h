@@ -14,10 +14,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace strato::common {
 
@@ -53,12 +54,12 @@ class BufferPool {
   static BufferPool& shared();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Bytes> free_;
+  mutable Mutex mu_{"BufferPool::mu_"};
+  std::vector<Bytes> free_ STRATO_GUARDED_BY(mu_);
   std::size_t max_buffers_;
-  std::uint64_t acquires_ = 0;
-  std::uint64_t reuses_ = 0;
-  std::uint64_t drops_ = 0;
+  std::uint64_t acquires_ STRATO_GUARDED_BY(mu_) = 0;
+  std::uint64_t reuses_ STRATO_GUARDED_BY(mu_) = 0;
+  std::uint64_t drops_ STRATO_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII lease: acquire on construction, release on scope exit.

@@ -1,0 +1,166 @@
+#include "common/lock_graph.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>  // strato-lint: allow(raw-mutex) — the detector's own lock
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace strato::common {
+
+namespace {
+
+/// One acquisition on some thread's held stack.
+struct Held {
+  const Mutex* m;
+  const char* name;
+};
+
+/// Per-thread stack of currently-held mutexes. Function-local so the
+/// thread_local is constructed on first use per thread.
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+}  // namespace
+
+struct LockGraph::Impl {
+  // The detector's internal lock must be a raw std::mutex: a common::Mutex
+  // here would re-enter the hooks and deadlock on itself.
+  mutable std::mutex mu;  // strato-lint: allow(raw-mutex)
+
+  struct Node {
+    const char* name = "mutex";
+    std::unordered_set<const void*> out;  // "acquired before" successors
+  };
+  std::unordered_map<const void*, Node> nodes;
+
+  // Unique (held, acquiring) pairs already reported, to cap log volume.
+  std::unordered_set<std::uint64_t> reported;
+  std::vector<Violation> violations;
+
+  std::atomic<bool> enabled{LockGraph::compiled_default()};
+
+  /// True when `to` is reachable from `from` along recorded edges.
+  bool reachable(const void* from, const void* to) const {
+    std::vector<const void*> frontier{from};
+    std::unordered_set<const void*> seen{from};
+    while (!frontier.empty()) {
+      const void* cur = frontier.back();
+      frontier.pop_back();
+      if (cur == to) return true;
+      const auto it = nodes.find(cur);
+      if (it == nodes.end()) continue;
+      for (const void* next : it->second.out) {
+        if (seen.insert(next).second) frontier.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  static std::uint64_t pair_key(const void* a, const void* b) {
+    const auto ha = reinterpret_cast<std::uintptr_t>(a);
+    const auto hb = reinterpret_cast<std::uintptr_t>(b);
+    // Order-sensitive mix: (A,B) and (B,A) are distinct inversions.
+    return (static_cast<std::uint64_t>(ha) * 0x9E3779B97F4A7C15ull) ^
+           static_cast<std::uint64_t>(hb);
+  }
+};
+
+LockGraph& LockGraph::instance() {
+  static LockGraph g;
+  return g;
+}
+
+LockGraph::Impl& LockGraph::impl() const {
+  static Impl i;
+  return i;
+}
+
+void LockGraph::set_enabled(bool on) {
+  impl().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool LockGraph::enabled() const {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void LockGraph::on_acquire(const Mutex* m, const char* name) {
+  Impl& im = impl();
+  if (!im.enabled.load(std::memory_order_relaxed)) return;
+  auto& held = held_stack();
+  if (!held.empty()) {
+    std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
+    for (const Held& h : held) {
+      if (h.m == m) continue;  // relocking is a different bug (UB), not ours
+      Impl::Node& from = im.nodes[h.m];
+      from.name = h.name;
+      im.nodes[m].name = name;
+      if (!from.out.insert(m).second) continue;  // edge already known
+      // Adding h.m -> m closes a cycle iff h.m is already reachable FROM m:
+      // some other thread acquired m before (eventually) h.m.
+      if (im.reachable(m, h.m) &&
+          im.reported.insert(Impl::pair_key(h.m, m)).second) {
+        Violation v;
+        v.held = h.name;
+        v.acquiring = name;
+        v.report = std::string("lock-order inversion: acquiring \"") + name +
+                   "\" while holding \"" + h.name + "\", but \"" + name +
+                   "\" has previously been acquired before \"" + h.name +
+                   "\" — an interleaving of these threads can deadlock";
+        im.violations.push_back(v);
+        std::fprintf(stderr, "[lockgraph] %s\n", v.report.c_str());
+      }
+    }
+  }
+  held.push_back({m, name});
+}
+
+void LockGraph::on_release(const Mutex* m) {
+  // Unwind unconditionally (even when disabled) so toggling the detector
+  // mid-flight cannot leave phantom held locks behind. Locks may be
+  // released in any order; search from the most recent acquisition.
+  auto& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->m == m) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockGraph::forget(const Mutex* m) {
+  Impl& im = impl();
+  std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
+  if (im.nodes.empty()) return;
+  im.nodes.erase(m);
+  for (auto& [addr, node] : im.nodes) {
+    (void)addr;
+    node.out.erase(m);
+  }
+}
+
+std::vector<LockGraph::Violation> LockGraph::violations() const {
+  Impl& im = impl();
+  std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
+  return im.violations;
+}
+
+std::size_t LockGraph::violation_count() const {
+  Impl& im = impl();
+  std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
+  return im.violations.size();
+}
+
+void LockGraph::reset() {
+  Impl& im = impl();
+  std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
+  im.nodes.clear();
+  im.reported.clear();
+  im.violations.clear();
+}
+
+}  // namespace strato::common

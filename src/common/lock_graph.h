@@ -1,0 +1,84 @@
+// Online lock-order (potential-deadlock) detector.
+//
+// TSan only reports the lock-order inversions a given schedule happens to
+// execute; this registry catches them on ANY schedule that merely exercises
+// both orders, even seconds apart and on different thread pairs. Every
+// common::Mutex acquisition records edges held-lock -> acquiring-lock into
+// a process-wide directed graph; an edge that closes a cycle is a potential
+// deadlock (some interleaving of those threads can block forever) and is
+// reported immediately with both mutex labels, before any real deadlock
+// has to happen.
+//
+// The detector is runtime-gated: it defaults to ON in Debug and sanitizer
+// builds (STRATO_LOCK_GRAPH_DEFAULT_ON, set by CMake) and OFF in release
+// builds, where each lock/unlock pays only one relaxed atomic load. Tests
+// flip it with set_enabled() regardless of build type.
+//
+// Limitations (it is a debug net, not a proof): edges are keyed by mutex
+// address, so ABBA on mutexes that never coexist is invisible after
+// forget(); condition-variable waits keep the mutex on the waiter's held
+// stack (the waiter cannot acquire anything else meanwhile, so no false
+// edges result).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace strato::common {
+
+class Mutex;
+
+class LockGraph {
+ public:
+  /// A lock-order inversion: `acquiring` was requested while `held` was
+  /// held, but the graph already proves `acquiring` precedes `held`.
+  struct Violation {
+    std::string held;       ///< label of the already-held mutex
+    std::string acquiring;  ///< label of the mutex being acquired
+    std::string report;     ///< human-readable edge description
+  };
+
+  static LockGraph& instance();
+
+  /// Whether the build defaulted the detector on (Debug / sanitizer).
+  static constexpr bool compiled_default() {
+#if defined(STRATO_LOCK_GRAPH_DEFAULT_ON)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const;
+
+  /// Hook called by Mutex immediately before a (possibly blocking)
+  /// acquisition: records held->m edges, checks for a cycle, and pushes
+  /// `m` onto the calling thread's held stack.
+  void on_acquire(const Mutex* m, const char* name);
+
+  /// Hook called by Mutex before releasing: pops `m` from the calling
+  /// thread's held stack (locks may be released in any order).
+  void on_release(const Mutex* m);
+
+  /// Drop every edge touching `m` (called by ~Mutex so a recycled address
+  /// cannot inherit a dead mutex's ordering constraints).
+  void forget(const Mutex* m);
+
+  /// Inversions recorded since construction / the last reset(), oldest
+  /// first. Each unique (held, acquiring) mutex pair is reported once.
+  [[nodiscard]] std::vector<Violation> violations() const;
+  [[nodiscard]] std::size_t violation_count() const;
+
+  /// Clear the graph and the recorded violations (tests).
+  void reset();
+
+ private:
+  LockGraph() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace strato::common

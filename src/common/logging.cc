@@ -2,10 +2,12 @@
 
 #include <atomic>
 
+#include "common/mutex.h"
+
 namespace strato::common {
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mu;
+Mutex g_mu{"logging::g_mu"};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -34,7 +36,7 @@ void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
 }
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 

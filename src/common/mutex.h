@@ -1,0 +1,124 @@
+// Annotated mutex wrapper — the project's only sanctioned lock.
+//
+// Every lock in src/ goes through common::Mutex so that (a) a Clang build
+// with -Wthread-safety can prove at compile time that STRATO_GUARDED_BY
+// members are only touched under their lock, and (b) debug/sanitizer
+// builds feed every acquisition into the common::LockGraph lock-order
+// detector, which flags AB/BA inversions online before they ever deadlock.
+// strato-lint bans raw std::mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable everywhere in src/ outside this wrapper and the
+// detector it feeds.
+//
+// Usage pattern (compile-checked under Clang):
+//
+//   class Queue {
+//    public:
+//     void push(Item it) {
+//       {
+//         common::MutexLock lk(mu_);
+//         while (items_.size() >= cap_) not_full_.wait(mu_);
+//         items_.push_back(std::move(it));
+//       }
+//       not_empty_.notify_one();
+//     }
+//    private:
+//     common::Mutex mu_{"Queue::mu_"};
+//     common::CondVar not_empty_, not_full_;
+//     std::deque<Item> items_ STRATO_GUARDED_BY(mu_);
+//   };
+//
+// Predicate waits are written as explicit `while (!pred) cv.wait(mu)`
+// loops rather than wait(lock, lambda): the analysis cannot see through a
+// lambda, and the explicit loop keeps the guarded reads inside the locked
+// scope it can check.
+#pragma once
+
+#include <condition_variable>  // strato-lint: allow(raw-mutex)
+#include <mutex>               // strato-lint: allow(raw-mutex)
+
+#include "common/lock_graph.h"
+#include "common/thread_annotations.h"
+
+namespace strato::common {
+
+/// Standard-layout exclusive mutex with Clang capability annotations and
+/// LockGraph instrumentation. The optional label names the lock in
+/// lock-order reports ("ThreadPool::mu_" beats 0x7f...).
+class STRATO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { LockGraph::instance().forget(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STRATO_ACQUIRE() {
+    // Record the ordering edge BEFORE blocking so that even a schedule
+    // that really deadlocks has already logged the offending edge.
+    LockGraph::instance().on_acquire(this, name_);
+    mu_.lock();  // strato-lint: allow(raw-mutex)
+  }
+
+  void unlock() STRATO_RELEASE() {
+    LockGraph::instance().on_release(this);
+    mu_.unlock();  // strato-lint: allow(raw-mutex)
+  }
+
+  [[nodiscard]] bool try_lock() STRATO_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;  // strato-lint: allow(raw-mutex)
+    // A failed try cannot deadlock, so the edge is only recorded on
+    // success (after the fact is fine: nothing blocked).
+    LockGraph::instance().on_acquire(this, name_);
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // strato-lint: allow(raw-mutex)
+  const char* name_ = "mutex";
+};
+
+/// RAII scoped lock over Mutex (the project's std::lock_guard).
+class STRATO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STRATO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() STRATO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. wait() atomically releases the
+/// caller-held Mutex and re-acquires it before returning; callers re-check
+/// their predicate in a while loop (spurious wakeups happen).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Requires `mu` held (usually via an enclosing MutexLock). The wait
+  /// adopts the underlying native mutex directly; LockGraph keeps the
+  /// mutex on the waiter's held stack across the wait, which is sound —
+  /// a blocked waiter cannot acquire anything else meanwhile.
+  void wait(Mutex& mu) STRATO_REQUIRES(mu) STRATO_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(  // strato-lint: allow(raw-mutex)
+        mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // strato-lint: allow(raw-mutex)
+};
+
+}  // namespace strato::common

@@ -5,12 +5,13 @@
 // hand blocks between a producing task thread and a channel writer thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace strato::common {
 
@@ -25,42 +26,50 @@ class SpscRing {
 
   /// Push, blocking while full. Returns false if the queue was closed.
   bool push(T item) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lk.unlock();
+    {
+      MutexLock lk(mu_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false when full or closed.
-  bool try_push(T item) {
-    std::lock_guard lk(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
+  [[nodiscard]] bool try_push(T item) {
+    {
+      MutexLock lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Pop, blocking while empty. Empty optional means closed-and-drained.
-  std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.erase(items_.begin());
-    lk.unlock();
+  [[nodiscard]] std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      MutexLock lk(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.erase(items_.begin());
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard lk(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.erase(items_.begin());
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      MutexLock lk(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.erase(items_.begin());
+    }
     not_full_.notify_one();
     return item;
   }
@@ -68,7 +77,7 @@ class SpscRing {
   /// Close the queue: pending pops drain, further pushes fail.
   void close() {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -76,28 +85,28 @@ class SpscRing {
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Fill level in [0,1] — the decision signal of the queue-based policy.
   [[nodiscard]] double fill() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return static_cast<double>(items_.size()) /
            static_cast<double>(capacity_);
   }
   [[nodiscard]] bool closed() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::vector<T> items_;
+  mutable Mutex mu_{"SpscRing::mu_"};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::vector<T> items_ STRATO_GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ STRATO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace strato::common

@@ -14,7 +14,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && jobs_.empty()) cv_.wait(mu_);
       if (jobs_.empty()) {
         if (stop_) return;
         continue;

@@ -4,15 +4,16 @@
 // it to run independent experiment repetitions concurrently.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace strato::common {
 
@@ -41,7 +42,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (stop_) {
         throw std::runtime_error("thread pool: submit after shutdown");
       }
@@ -61,11 +62,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> jobs_ STRATO_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ STRATO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace strato::common

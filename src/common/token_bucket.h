@@ -27,7 +27,7 @@ class TokenBucket {
   [[nodiscard]] double rate() const { return rate_; }
 
   /// Try to consume `n` bytes at time `now`. Returns true on success.
-  bool try_consume(std::uint64_t n, SimTime now) {
+  [[nodiscard]] bool try_consume(std::uint64_t n, SimTime now) {
     refill(now);
     const auto need = static_cast<double>(n);
     if (tokens_ + 1e-9 >= need) {

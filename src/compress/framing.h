@@ -84,7 +84,7 @@ class FrameAssembler {
 
   /// Decode and return the next complete block, or nullopt if more bytes
   /// are needed. @throws CodecError on malformed frames.
-  std::optional<common::Bytes> next_block();
+  [[nodiscard]] std::optional<common::Bytes> next_block();
 
   /// Header of the most recently returned block (level/codec statistics).
   [[nodiscard]] const FrameHeader& last_header() const { return last_; }

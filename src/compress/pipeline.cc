@@ -74,7 +74,7 @@ void ParallelBlockPipeline::compress_slot(std::uint64_t seq) {
     error = std::current_exception();
   }
   {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     slot.frame = std::move(frame);
     slot.error = error;
     slot.state = Slot::State::kReady;
@@ -87,11 +87,10 @@ void ParallelBlockPipeline::deliver_ready(bool wait_for_one) {
     if (deliver_seq_ == next_seq_) return;  // nothing outstanding
     Slot& slot = slots_[deliver_seq_ % depth_];
     {
-      std::unique_lock lk(mu_);
-      if (slot.state != Slot::State::kReady) {
+      common::MutexLock lk(mu_);
+      while (slot.state != Slot::State::kReady) {
         if (!wait_for_one) return;
-        ready_cv_.wait(
-            lk, [&] { return slot.state == Slot::State::kReady; });
+        ready_cv_.wait(mu_);
       }
     }
     // Past this point the slot belongs to the submitting thread again: the

@@ -25,15 +25,15 @@
 // what the application data rate measurement needs to see.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "common/buffer_pool.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "compress/registry.h"
 
@@ -105,8 +105,11 @@ class ParallelBlockPipeline {
   FrameSink sink_;
   std::size_t depth_;
 
-  std::mutex mu_;
-  std::condition_variable ready_cv_;
+  common::Mutex mu_{"ParallelBlockPipeline::mu_"};
+  common::CondVar ready_cv_;
+  // Not GUARDED_BY(mu_): slots are handed off by protocol — a kPending
+  // slot belongs to its worker, a kReady slot to the submitting thread;
+  // only the state transition itself happens under mu_.
   std::vector<Slot> slots_;        // ring indexed by seq % depth_
   std::uint64_t next_seq_ = 0;     // next sequence number to submit
   std::uint64_t deliver_seq_ = 0;  // next sequence number to deliver

@@ -34,7 +34,7 @@ class RateMeter {
 
   /// Close the window if >= t has elapsed; returns the application data
   /// rate (bytes/second) over the actual elapsed span, or nullopt.
-  std::optional<double> poll(common::SimTime now) {
+  [[nodiscard]] std::optional<double> poll(common::SimTime now) {
     if (!started_) return std::nullopt;
     const common::SimTime elapsed = now - window_start_;
     if (elapsed < window_) return std::nullopt;

@@ -57,9 +57,12 @@ void CompressingWriter::account_frame(common::ByteSpan frame,
   // the parallel pipeline this runs on the submitting thread in submission
   // order, so the rate meter aggregates accepted bytes across all workers.
   sink_.write(frame);
-  raw_bytes_ += raw_size;
-  framed_bytes_ += frame.size();
-  ++blocks_per_level_[static_cast<std::size_t>(level)];
+  {
+    common::MutexLock lk(stats_mu_);
+    raw_bytes_ += raw_size;
+    framed_bytes_ += frame.size();
+    ++blocks_per_level_[static_cast<std::size_t>(level)];
+  }
   policy_.on_block(raw_size, clock_.now());
 }
 

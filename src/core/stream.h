@@ -15,7 +15,9 @@
 #include <memory>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "compress/framing.h"
 #include "compress/pipeline.h"
 #include "compress/registry.h"
@@ -60,12 +62,26 @@ class CompressingWriter {
   /// Emit any buffered partial block and flush the sink.
   void flush();
 
+  // The counters below are written on the writer thread but polled by
+  // monitoring threads through Channel::stats() mid-run, so they are
+  // mutex-guarded (one uncontended lock per 128 KB block is noise). The
+  // unguarded fields above them (buffer_, buffered_, ...) are writer-
+  // thread-only by contract.
+
   /// Raw application bytes accepted so far.
-  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+  [[nodiscard]] std::uint64_t raw_bytes() const {
+    common::MutexLock lk(stats_mu_);
+    return raw_bytes_;
+  }
   /// Framed (compressed + header) bytes emitted so far.
-  [[nodiscard]] std::uint64_t framed_bytes() const { return framed_bytes_; }
-  /// Blocks emitted per level (index = level).
-  [[nodiscard]] const std::vector<std::uint64_t>& blocks_per_level() const {
+  [[nodiscard]] std::uint64_t framed_bytes() const {
+    common::MutexLock lk(stats_mu_);
+    return framed_bytes_;
+  }
+  /// Blocks emitted per level (index = level). Returns a snapshot copy —
+  /// a reference would race with the writer thread's increments.
+  [[nodiscard]] std::vector<std::uint64_t> blocks_per_level() const {
+    common::MutexLock lk(stats_mu_);
     return blocks_per_level_;
   }
 
@@ -80,9 +96,10 @@ class CompressingWriter {
   std::size_t block_size_;
   common::Bytes buffer_;
   std::size_t buffered_ = 0;
-  std::uint64_t raw_bytes_ = 0;
-  std::uint64_t framed_bytes_ = 0;
-  std::vector<std::uint64_t> blocks_per_level_;
+  mutable common::Mutex stats_mu_{"CompressingWriter::stats_mu_"};
+  std::uint64_t raw_bytes_ STRATO_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t framed_bytes_ STRATO_GUARDED_BY(stats_mu_) = 0;
+  std::vector<std::uint64_t> blocks_per_level_ STRATO_GUARDED_BY(stats_mu_);
   std::unique_ptr<compress::ParallelBlockPipeline> pipeline_;
 };
 
@@ -96,7 +113,7 @@ class DecompressingReader {
   void feed(common::ByteSpan data) { assembler_.feed(data); }
 
   /// Next decoded block, or nullopt if more input is needed.
-  std::optional<common::Bytes> next_block() {
+  [[nodiscard]] std::optional<common::Bytes> next_block() {
     auto block = assembler_.next_block();
     if (block) {
       raw_bytes_ += block->size();

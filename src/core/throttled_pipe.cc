@@ -9,17 +9,18 @@ namespace strato::core {
 void LinkShare::acquire(std::uint64_t n) {
   // Serialise claims; sleep until the bucket can cover this grant. Claims
   // are granted in lock-acquisition order, which approximates per-flow
-  // fairness at block granularity.
-  std::unique_lock lk(mu_);
+  // fairness at block granularity. The lock is dropped around the sleep
+  // (one scoped acquisition per probe) so other flows can claim meanwhile.
   for (;;) {
-    const common::SimTime now = clock_.now();
-    if (bucket_.try_consume(n, now)) return;
-    const common::SimTime at = bucket_.ready_at(n, now);
-    const auto wait = at - now;
-    lk.unlock();
+    common::SimTime wait;
+    {
+      common::MutexLock lk(mu_);
+      const common::SimTime now = clock_.now();
+      if (bucket_.try_consume(n, now)) return;
+      wait = bucket_.ready_at(n, now) - now;
+    }
     std::this_thread::sleep_for(
         std::chrono::nanoseconds(std::max<std::int64_t>(wait.nanos(), 1000)));
-    lk.lock();
   }
 }
 
@@ -85,21 +86,22 @@ void ThrottledPipe::write_clean(common::ByteSpan data) {
     // pipes interleave like packets on a wire.
     const std::size_t grain = std::min<std::size_t>(data.size() - off, 16384);
     if (link_) link_->acquire(grain);
-    std::unique_lock lk(mu_);
-    writable_.wait(lk, [&] { return buf_.size() + grain <= capacity_ || closed_; });
-    if (closed_) return;  // reader gone; drop silently like a RST socket
-    buf_.insert(buf_.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
-                data.begin() + static_cast<std::ptrdiff_t>(off + grain));
-    transferred_ += grain;
-    off += grain;
-    lk.unlock();
+    {
+      common::MutexLock lk(mu_);
+      while (buf_.size() + grain > capacity_ && !closed_) writable_.wait(mu_);
+      if (closed_) return;  // reader gone; drop silently like a RST socket
+      buf_.insert(buf_.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + grain));
+      transferred_ += grain;
+      off += grain;
+    }
     readable_.notify_one();
   }
 }
 
 void ThrottledPipe::close() {
   {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     closed_ = true;
   }
   readable_.notify_all();
@@ -107,18 +109,20 @@ void ThrottledPipe::close() {
 }
 
 common::Bytes ThrottledPipe::read(std::size_t max_bytes) {
-  std::unique_lock lk(mu_);
-  readable_.wait(lk, [&] { return !buf_.empty() || closed_; });
-  const std::size_t n = std::min(max_bytes, buf_.size());
-  common::Bytes out(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
-  lk.unlock();
+  common::Bytes out;
+  {
+    common::MutexLock lk(mu_);
+    while (buf_.empty() && !closed_) readable_.wait(mu_);
+    const std::size_t n = std::min(max_bytes, buf_.size());
+    out.assign(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
   writable_.notify_all();
   return out;
 }
 
 std::uint64_t ThrottledPipe::transferred() const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   return transferred_;
 }
 

@@ -7,15 +7,15 @@
 // studies, reproduced in-process for examples and integration tests.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "common/bytes.h"
 #include "common/chaos.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/token_bucket.h"
 #include "core/stream.h"
 
@@ -34,15 +34,21 @@ class LinkShare {
 
   /// Change the link capacity mid-run (congestion appearing/clearing).
   void set_rate(double bytes_per_second) {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     bucket_.set_rate(bytes_per_second);
   }
 
-  [[nodiscard]] double rate() const { return bucket_.rate(); }
+  [[nodiscard]] double rate() const {
+    // Locked: set_rate() may run concurrently with a pipe reading the
+    // capacity (previously an unguarded double read — a benign-looking
+    // race -Wthread-safety rejects and TSan can miss).
+    common::MutexLock lk(mu_);
+    return bucket_.rate();
+  }
 
  private:
-  std::mutex mu_;
-  common::TokenBucket bucket_;
+  mutable common::Mutex mu_{"LinkShare::mu_"};
+  common::TokenBucket bucket_ STRATO_GUARDED_BY(mu_);
   common::SteadyClock clock_;
 };
 
@@ -88,13 +94,13 @@ class ThrottledPipe final : public ByteSink {
   common::ChaosSchedule chaos_;    // writer-side fault script
   std::size_t chaos_idx_ = 0;      // next unapplied event
   std::uint64_t chaos_offset_ = 0; // cumulative bytes attempted by writer
-  mutable std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  std::deque<std::uint8_t> buf_;
+  mutable common::Mutex mu_{"ThrottledPipe::mu_"};
+  common::CondVar readable_;
+  common::CondVar writable_;
+  std::deque<std::uint8_t> buf_ STRATO_GUARDED_BY(mu_);
   std::size_t capacity_;
-  std::uint64_t transferred_ = 0;
-  bool closed_ = false;
+  std::uint64_t transferred_ STRATO_GUARDED_BY(mu_) = 0;
+  bool closed_ STRATO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace strato::core

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace strato::dataflow {
 
 namespace {
@@ -243,15 +246,15 @@ class FileChannel final : public CompressedChannelBase {
  private:
   void mark_done() {
     {
-      std::lock_guard lk(mu_);
+      common::MutexLock lk(mu_);
       done_ = true;
     }
     cv_.notify_all();
   }
 
   void wait_done() {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return done_; });
+    common::MutexLock lk(mu_);
+    while (!done_) cv_.wait(mu_);
   }
 
   class Writer final : public ChannelWriter {
@@ -304,9 +307,9 @@ class FileChannel final : public CompressedChannelBase {
 
   std::string path_;
   FileSink sink_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
+  common::Mutex mu_{"FileChannel::mu_"};
+  common::CondVar cv_;
+  bool done_ STRATO_GUARDED_BY(mu_) = false;
   Writer writer_;
   Reader reader_;
 };

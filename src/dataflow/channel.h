@@ -55,7 +55,7 @@ class ChannelReader {
  public:
   virtual ~ChannelReader() = default;
   /// Next record; nullopt = end of stream.
-  virtual std::optional<common::Bytes> next() = 0;
+  [[nodiscard]] virtual std::optional<common::Bytes> next() = 0;
 };
 
 /// A constructed channel: both endpoints plus its stats (valid after both

@@ -3,8 +3,9 @@
 #include <chrono>
 #include <map>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace strato::dataflow {
 
@@ -83,7 +84,7 @@ JobStats Executor::execute(const JobGraph& job) {
         &channels[e]->reader());
   }
 
-  std::mutex err_mu;
+  common::Mutex err_mu{"Executor::err_mu"};
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(nv);
@@ -95,7 +96,7 @@ JobStats Executor::execute(const JobGraph& job) {
         const auto task = job.instantiate(static_cast<int>(v));
         task->run(ctx);
       } catch (const std::exception& ex) {
-        std::lock_guard lk(err_mu);
+        common::MutexLock lk(err_mu);
         if (stats.error.empty()) {
           stats.error = ctx.name() + ": " + ex.what();
         }

@@ -30,7 +30,7 @@ class RecordAssembler {
 
   /// Next complete record, or nullopt if more bytes are needed.
   /// @throws compress::CodecError on an implausible length prefix.
-  std::optional<common::Bytes> next_record();
+  [[nodiscard]] std::optional<common::Bytes> next_record();
 
   /// True when no partial record is buffered (clean end of stream).
   [[nodiscard]] bool drained() const { return buf_.size() == off_; }

@@ -1,10 +1,10 @@
 #include "dataflow/stdtasks.h"
 
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/checksum.h"
+#include "common/mutex.h"
 
 namespace strato::dataflow {
 
@@ -21,12 +21,12 @@ void UnionTask::run(TaskContext& ctx) {
   // Drain each input gate on its own thread so one idle upstream cannot
   // stall the others (channels block on empty).
   std::vector<std::thread> drains;
-  std::mutex emit_mu;
+  common::Mutex emit_mu{"UnionTask::emit_mu"};
   drains.reserve(ctx.num_inputs());
   for (std::size_t i = 0; i < ctx.num_inputs(); ++i) {
     drains.emplace_back([&ctx, &emit_mu, i] {
       while (auto rec = ctx.input(i).next()) {
-        std::lock_guard lk(emit_mu);
+        common::MutexLock lk(emit_mu);
         ctx.output(0).emit(*rec);
       }
     });

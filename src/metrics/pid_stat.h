@@ -26,10 +26,10 @@ struct PidStatSnapshot {
 };
 
 /// Parse a /proc/<pid>/stat line. Returns nullopt on malformed input.
-std::optional<PidStatSnapshot> parse_pid_stat(std::string_view content);
+[[nodiscard]] std::optional<PidStatSnapshot> parse_pid_stat(std::string_view content);
 
 /// Read and parse the live /proc/<pid>/stat (Linux only).
-std::optional<PidStatSnapshot> read_pid_stat(int pid);
+[[nodiscard]] std::optional<PidStatSnapshot> read_pid_stat(int pid);
 
 /// CPU fraction a process used between two snapshots over `elapsed_s`
 /// seconds, given the kernel tick rate (USER_HZ, typically 100).

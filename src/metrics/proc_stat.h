@@ -32,10 +32,10 @@ struct ProcStatSnapshot {
 
 /// Parse the first "cpu " line out of /proc/stat content.
 /// Returns nullopt if the line is missing or malformed.
-std::optional<ProcStatSnapshot> parse_proc_stat(std::string_view content);
+[[nodiscard]] std::optional<ProcStatSnapshot> parse_proc_stat(std::string_view content);
 
 /// Read and parse the live /proc/stat (Linux only).
-std::optional<ProcStatSnapshot> read_proc_stat();
+[[nodiscard]] std::optional<ProcStatSnapshot> read_proc_stat();
 
 /// Breakdown of the interval between two snapshots (later minus earlier).
 /// Returns zeros if no jiffies elapsed.

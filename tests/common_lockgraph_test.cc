@@ -1,0 +1,178 @@
+// common::LockGraph — online lock-order (potential-deadlock) detection.
+//
+// The detector must flag an AB/BA inversion even when the two orders are
+// exercised at different times by different threads (no actual deadlock
+// ever happens in these tests — that is the point: the report arrives
+// before any schedule has to hang).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/lock_graph.h"
+#include "common/mutex.h"
+
+namespace strato::common {
+namespace {
+
+/// Enables the detector for one test and restores the build default (and
+/// a clean graph) afterwards, so tests compose in any order.
+class ScopedDetector {
+ public:
+  ScopedDetector() {
+    LockGraph::instance().reset();
+    LockGraph::instance().set_enabled(true);
+  }
+  ~ScopedDetector() {
+    LockGraph::instance().set_enabled(LockGraph::compiled_default());
+    LockGraph::instance().reset();
+  }
+};
+
+void lock_in_order(Mutex& first, Mutex& second) {
+  MutexLock a(first);
+  MutexLock b(second);
+}
+
+TEST(LockGraphTest, DefaultMatchesBuildConfiguration) {
+  // Release builds (no sanitizer) keep the detector off — each lock pays
+  // only a relaxed atomic load. Debug/sanitizer builds default it on.
+#if defined(STRATO_LOCK_GRAPH_DEFAULT_ON)
+  EXPECT_TRUE(LockGraph::compiled_default());
+#else
+  EXPECT_FALSE(LockGraph::compiled_default());
+#endif
+  EXPECT_EQ(LockGraph::instance().enabled(), LockGraph::compiled_default());
+}
+
+TEST(LockGraphTest, CleanOrderedAcquisitionStaysSilent) {
+  ScopedDetector guard;
+  Mutex a("test.ordered.A");
+  Mutex b("test.ordered.B");
+  // Same order from two threads, many times: a consistent global order is
+  // exactly what the policy demands.
+  std::thread t1([&] {
+    for (int i = 0; i < 100; ++i) lock_in_order(a, b);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 100; ++i) lock_in_order(a, b);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(LockGraph::instance().violation_count(), 0u);
+}
+
+TEST(LockGraphTest, DetectsAbBaInversionAcrossThreads) {
+  ScopedDetector guard;
+  Mutex a("test.inversion.A");
+  Mutex b("test.inversion.B");
+  std::thread t1([&] { lock_in_order(a, b); });
+  t1.join();
+  std::thread t2([&] { lock_in_order(b, a); });  // inverted — flagged here
+  t2.join();
+
+  const auto violations = LockGraph::instance().violations();
+  ASSERT_EQ(violations.size(), 1u);
+  // The report carries both labels: the held lock and the one being
+  // acquired at the moment the cycle closed.
+  EXPECT_EQ(violations[0].held, "test.inversion.B");
+  EXPECT_EQ(violations[0].acquiring, "test.inversion.A");
+  EXPECT_NE(violations[0].report.find("test.inversion.A"), std::string::npos);
+  EXPECT_NE(violations[0].report.find("test.inversion.B"), std::string::npos);
+}
+
+TEST(LockGraphTest, DetectsInversionWithinOneThread) {
+  ScopedDetector guard;
+  Mutex a("test.samethread.A");
+  Mutex b("test.samethread.B");
+  lock_in_order(a, b);
+  lock_in_order(b, a);
+  EXPECT_EQ(LockGraph::instance().violation_count(), 1u);
+}
+
+TEST(LockGraphTest, ReportsUniqueEdgeOnce) {
+  ScopedDetector guard;
+  Mutex a("test.dedupe.A");
+  Mutex b("test.dedupe.B");
+  lock_in_order(a, b);
+  for (int i = 0; i < 10; ++i) lock_in_order(b, a);
+  EXPECT_EQ(LockGraph::instance().violation_count(), 1u);
+}
+
+TEST(LockGraphTest, DetectsThreeLockCycle) {
+  ScopedDetector guard;
+  Mutex a("test.cycle3.A");
+  Mutex b("test.cycle3.B");
+  Mutex c("test.cycle3.C");
+  lock_in_order(a, b);
+  lock_in_order(b, c);
+  lock_in_order(c, a);  // A -> B -> C -> A
+  ASSERT_EQ(LockGraph::instance().violation_count(), 1u);
+  const auto v = LockGraph::instance().violations()[0];
+  EXPECT_EQ(v.held, "test.cycle3.C");
+  EXPECT_EQ(v.acquiring, "test.cycle3.A");
+}
+
+TEST(LockGraphTest, DisabledDetectorRecordsNothing) {
+  ScopedDetector guard;
+  LockGraph::instance().set_enabled(false);
+  Mutex a("test.off.A");
+  Mutex b("test.off.B");
+  lock_in_order(a, b);
+  lock_in_order(b, a);
+  EXPECT_EQ(LockGraph::instance().violation_count(), 0u);
+}
+
+TEST(LockGraphTest, ForgetDropsEdgesOfDestroyedMutex) {
+  ScopedDetector guard;
+  Mutex a("test.forget.A");
+  {
+    Mutex b("test.forget.B");
+    lock_in_order(a, b);
+  }  // ~Mutex forgets B: the A -> B constraint dies with it
+  Mutex c("test.forget.C");  // may reuse B's address
+  lock_in_order(c, a);
+  EXPECT_EQ(LockGraph::instance().violation_count(), 0u);
+}
+
+TEST(LockGraphTest, CondVarWaitDoesNotFabricateEdges) {
+  ScopedDetector guard;
+  Mutex mu("test.cv.mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lk(mu);
+    while (!ready) cv.wait(mu);
+  });
+  {
+    MutexLock lk(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(LockGraph::instance().violation_count(), 0u);
+}
+
+TEST(LockGraphTest, TryLockParticipatesInOrdering) {
+  ScopedDetector guard;
+  Mutex a("test.try.A");
+  Mutex b("test.try.B");
+  {
+    MutexLock lk(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  lock_in_order(b, a);
+  EXPECT_EQ(LockGraph::instance().violation_count(), 1u);
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu("test.trylock.mu");
+  mu.lock();
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace strato::common

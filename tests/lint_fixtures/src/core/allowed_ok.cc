@@ -1,0 +1,14 @@
+// Fixture: every violation in this file is suppressed with the
+// `// strato-lint: allow(<rule>)` escape hatch — the selftest requires
+// the linter to report nothing here.
+#include <cstdio>
+#include <mutex>
+
+// Interop with a pre-wrapper third-party callback that hands us a raw
+// mutex; sanctioned exception.
+// strato-lint: allow(raw-mutex)
+static std::mutex g_fixture_legacy_mu;
+
+void fixture_allowed_print(int v) {
+  printf("%d\n", v);  // strato-lint: allow(stdout) — CLI tool output
+}

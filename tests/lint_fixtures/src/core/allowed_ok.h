@@ -1,0 +1,11 @@
+// strato-lint: allow(pragma-once) — guard style kept for a downstream
+// consumer that compiles this header twice via the preprocessor.
+#ifndef STRATO_TESTS_LINT_FIXTURES_ALLOWED_OK_H_
+#define STRATO_TESTS_LINT_FIXTURES_ALLOWED_OK_H_
+
+class FixtureProbe {
+ public:
+  bool try_probe();  // strato-lint: allow(nodiscard) — fire-and-forget probe
+};
+
+#endif  // STRATO_TESTS_LINT_FIXTURES_ALLOWED_OK_H_

@@ -1,0 +1,12 @@
+// Fixture header: missing #pragma once, un-annotated status-returning
+// APIs, namespace pollution and a relative include.
+#include "../core/bad_print.h"
+#include <optional>
+
+using namespace std;
+
+class FixtureQueue {
+ public:
+  bool try_take(int* out);
+  std::optional<int> peek() const;
+};

@@ -1,0 +1,9 @@
+// Fixture: raw standard-library locking outside common/mutex.h. The
+// lock_guard line carries two violations (the guard and the mutex type).
+#include <mutex>
+
+static std::mutex g_fixture_mu;
+
+void fixture_bad_mutex() {
+  std::lock_guard<std::mutex> lk(g_fixture_mu);
+}

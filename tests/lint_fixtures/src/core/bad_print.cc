@@ -1,0 +1,8 @@
+// Fixture: library code writing to stdout.
+#include <cstdio>
+#include <iostream>
+
+void fixture_bad_print(int v) {
+  std::cout << v;
+  printf("%d\n", v);
+}

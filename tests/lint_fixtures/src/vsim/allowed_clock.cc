@@ -1,0 +1,7 @@
+// Fixture: a suppressed wall-clock read inside vsim — must stay silent.
+#include <ctime>
+
+long fixture_allowed_clock() {
+  // Seeding a log filename, not simulation state.
+  return time(nullptr);  // strato-lint: allow(wallclock)
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock and ambient randomness inside the virtual-time
+// world. Each banned token below must be reported by strato-lint.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long fixture_bad_clock() {
+  auto now = std::chrono::system_clock::now();
+  int noise = rand();
+  long stamp = time(nullptr);
+  return now.time_since_epoch().count() + noise + stamp;
+}
