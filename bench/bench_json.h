@@ -1,0 +1,39 @@
+// Shared output plumbing for the scaling benches.
+//
+// Every bench builds its JSON object into a string, prints it to stdout
+// (human runs, CI logs) and, when invoked with an output path as argv[1],
+// writes the identical bytes there. scripts/check_bench.sh relies on the
+// file form to compare a fresh run against the committed BENCH_*.json
+// trajectory without scraping logs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace strato::bench {
+
+/// Append printf-formatted text to `out`.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+/// Print `json` to stdout and mirror it to argv[1] when given.
+/// Returns a process exit code.
+inline int write_output(const std::string& json, int argc, char** argv) {
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace strato::bench

@@ -1,16 +1,22 @@
 // Parallel-pipeline scaling: compression throughput vs worker count for the
 // paper's three corpus compressibilities, plus a serial-vs-parallel wire
-// identity check. Emits one JSON object on stdout.
+// identity check. Emits one JSON object on stdout and mirrors it to the
+// file named by argv[1] (the committed BENCH_pipeline.json trajectory —
+// see scripts/check_bench.sh).
 //
 // Acceptance target: >= 2.5x at 4 workers vs 1 on the low-entropy (HIGH
 // compressibility) corpus — only demonstrable on a machine with >= 4
 // hardware threads; `hardware_concurrency` is reported so harnesses can
-// gate on it.
+// gate on it. `corpus_seed`, `blocks` and `ratio` are deterministic and
+// must reproduce exactly between runs; the timing fields carry a
+// tolerance band.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/bytes.h"
 #include "compress/framing.h"
 #include "compress/pipeline.h"
@@ -19,6 +25,7 @@
 
 namespace {
 
+using strato::bench::appendf;
 using strato::common::Bytes;
 using strato::compress::CodecRegistry;
 using strato::compress::ParallelBlockPipeline;
@@ -26,10 +33,11 @@ using strato::compress::PipelineConfig;
 
 constexpr std::size_t kBlockSize = 128 * 1024;
 constexpr int kLevel = 2;  // MEDIUM: enough codec work for scaling to show
+constexpr std::uint64_t kCorpusSeed = 1234;
 
 std::vector<Bytes> make_corpus(strato::corpus::Compressibility c,
                                std::size_t total_bytes) {
-  auto gen = strato::corpus::make_generator(c, 1234);
+  auto gen = strato::corpus::make_generator(c, kCorpusSeed);
   std::vector<Bytes> blocks;
   for (std::size_t done = 0; done < total_bytes; done += kBlockSize) {
     blocks.push_back(strato::corpus::take(*gen, kBlockSize));
@@ -37,20 +45,26 @@ std::vector<Bytes> make_corpus(strato::corpus::Compressibility c,
   return blocks;
 }
 
-double run_once(const CodecRegistry& registry,
-                const std::vector<Bytes>& blocks, std::size_t workers) {
+struct RunResult {
+  double secs = -1.0;
   std::size_t wire_bytes = 0;
+};
+
+RunResult run_once(const CodecRegistry& registry,
+                   const std::vector<Bytes>& blocks, std::size_t workers) {
+  RunResult r;
   ParallelBlockPipeline pipeline(
       registry, PipelineConfig{workers, /*depth=*/0},
       [&](strato::common::ByteSpan frame, std::size_t, int) {
-        wire_bytes += frame.size();
+        r.wire_bytes += frame.size();
       });
   const auto start = std::chrono::steady_clock::now();
   for (const auto& b : blocks) pipeline.submit(kLevel, b);
   pipeline.flush();
   const auto end = std::chrono::steady_clock::now();
-  if (wire_bytes == 0) return -1.0;  // keep the sink observable
-  return std::chrono::duration<double>(end - start).count();
+  if (r.wire_bytes == 0) return r;  // keep the sink observable
+  r.secs = std::chrono::duration<double>(end - start).count();
+  return r;
 }
 
 /// Parallel frames must be byte-identical to the serial encoder's at every
@@ -88,7 +102,7 @@ bool identity_check(const CodecRegistry& registry) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const CodecRegistry& registry = CodecRegistry::standard();
   if (!identity_check(registry)) return 1;
 
@@ -99,35 +113,40 @@ int main() {
       strato::corpus::Compressibility::kLow};
   const std::size_t worker_counts[] = {1, 2, 4, 8};
 
-  std::printf("{\n  \"bench\": \"pipeline_scaling\",\n");
-  std::printf("  \"block_size\": %zu,\n  \"level\": %d,\n", kBlockSize, kLevel);
-  std::printf("  \"total_mib\": %.0f,\n",
-              static_cast<double>(total) / (1024.0 * 1024.0));
-  std::printf("  \"hardware_concurrency\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"identity_check\": \"pass\",\n");
-  std::printf("  \"results\": [\n");
+  std::string json;
+  appendf(json, "{\n  \"bench\": \"pipeline_scaling\",\n");
+  appendf(json, "  \"block_size\": %zu,\n  \"level\": %d,\n", kBlockSize,
+          kLevel);
+  appendf(json, "  \"corpus_seed\": %llu,\n",
+          static_cast<unsigned long long>(kCorpusSeed));
+  appendf(json, "  \"total_mib\": %.0f,\n",
+          static_cast<double>(total) / (1024.0 * 1024.0));
+  appendf(json, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  appendf(json, "  \"identity_check\": \"pass\",\n");
+  appendf(json, "  \"results\": [\n");
 
   bool first = true;
   for (const auto c : corpora) {
     const auto blocks = make_corpus(c, total);
-    const double mib =
-        static_cast<double>(blocks.size() * kBlockSize) / (1024.0 * 1024.0);
+    const double raw = static_cast<double>(blocks.size() * kBlockSize);
+    const double mib = raw / (1024.0 * 1024.0);
     double base = -1.0;
     for (const std::size_t workers : worker_counts) {
       run_once(registry, blocks, workers);  // warm-up (pools, page faults)
-      const double secs = run_once(registry, blocks, workers);
-      if (workers == 1) base = secs;
-      if (!first) std::printf(",\n");
+      const RunResult r = run_once(registry, blocks, workers);
+      if (workers == 1) base = r.secs;
+      if (!first) appendf(json, ",\n");
       first = false;
-      std::printf(
-          "    {\"corpus\": \"%s\", \"workers\": %zu, \"seconds\": %.4f, "
-          "\"mib_per_s\": %.1f, \"speedup_vs_1\": %.2f}",
-          strato::corpus::to_string(c), workers, secs, mib / secs,
-          base / secs);
-      std::fflush(stdout);
+      appendf(json,
+              "    {\"corpus\": \"%s\", \"workers\": %zu, \"blocks\": %zu, "
+              "\"ratio\": %.4f, \"seconds\": %.4f, \"mib_per_s\": %.1f, "
+              "\"speedup_vs_1\": %.2f}",
+              strato::corpus::to_string(c), workers, blocks.size(),
+              static_cast<double>(r.wire_bytes) / raw, r.secs, mib / r.secs,
+              base / r.secs);
     }
   }
-  std::printf("\n  ]\n}\n");
-  return 0;
+  appendf(json, "\n  ]\n}\n");
+  return strato::bench::write_output(json, argc, argv);
 }

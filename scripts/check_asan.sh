@@ -18,6 +18,7 @@ TESTS=(
   compress_framing_test
   compress_golden_test
   compress_pipeline_test
+  compress_decode_pipeline_test
   verify_oracle_test
   verify_minifuzz_test
   verify_chaos_test

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Benchmark trajectory gate: re-run the scaling benches and compare them
+# against the committed BENCH_pipeline.json / BENCH_decode.json at the
+# repo root.
+#
+#   scripts/check_bench.sh [build-dir] [--update]
+#
+# Comparison rules (see scripts/check_bench.sh --help and DESIGN.md §9):
+#   * Deterministic fields (corpus_seed, block_size, blocks, ratio,
+#     identity_check, the set of result rows) must match EXACTLY — any
+#     drift means the wire format or a codec changed and the baseline
+#     must be regenerated consciously with --update.
+#   * Timing fields (mib_per_s) carry a relative tolerance band
+#     (BENCH_TOL, default 0.50): a row more than the band SLOWER than
+#     the committed baseline is a REGRESSION (exit 1). Timing is only
+#     compared when the committed baseline was recorded on a machine
+#     with the same hardware_concurrency — numbers from different
+#     hardware are not comparable and are skipped with a note.
+#   * When hardware_concurrency >= 4, the parallel acceptance floor is
+#     asserted on the fresh run: speedup_vs_1 >= 2.0 at workers=4 (the
+#     decode-pipeline acceptance target; the encode pipeline shares it
+#     as a conservative floor).
+#   * --update rewrites the committed JSON from the fresh run.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD="build"
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    --help|-h) sed -n '2,24p' "$0"; exit 0 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+TOL="${BENCH_TOL:-0.50}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+status=0
+for pair in "bench_pipeline_scaling:BENCH_pipeline.json" \
+            "bench_decode_scaling:BENCH_decode.json"; do
+  bench="${pair%%:*}"
+  committed="${pair##*:}"
+  bin="$BUILD/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "!!! $bench: not built ($bin missing) — build first" >&2
+    status=1
+    continue
+  fi
+  fresh="$TMP/$committed"
+  echo "=== $bench ==="
+  if ! "$bin" "$fresh" >/dev/null; then
+    echo "!!! $bench: run failed" >&2
+    status=1
+    continue
+  fi
+  if [ "$UPDATE" -eq 1 ] || [ ! -f "$committed" ]; then
+    if [ ! -f "$committed" ] && [ "$UPDATE" -eq 0 ]; then
+      echo "no committed $committed — writing initial baseline"
+    fi
+    cp "$fresh" "$committed"
+    echo "baseline updated: $committed"
+    continue
+  fi
+  if ! python3 - "$committed" "$fresh" "$TOL" <<'EOF'
+import json, sys
+
+committed_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(committed_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    cur = json.load(f)
+
+DETERMINISTIC_TOP = ["bench", "block_size", "corpus_seed", "total_mib",
+                     "identity_check"]
+# Result rows are keyed by their deterministic identity columns.
+KEY_COLS = ["corpus", "level", "workers"]
+DETERMINISTIC_COLS = ["blocks", "ratio"]
+
+failures = []
+for k in DETERMINISTIC_TOP:
+    if base.get(k) != cur.get(k):
+        failures.append(f"{k}: committed {base.get(k)!r} != fresh {cur.get(k)!r}")
+
+def key(row):
+    return tuple(row.get(c) for c in KEY_COLS)
+
+base_rows = {key(r): r for r in base.get("results", [])}
+cur_rows = {key(r): r for r in cur.get("results", [])}
+if set(base_rows) != set(cur_rows):
+    failures.append(f"result rows differ: committed {sorted(base_rows)} "
+                    f"!= fresh {sorted(cur_rows)}")
+
+same_hw = base.get("hardware_concurrency") == cur.get("hardware_concurrency")
+if not same_hw:
+    print(f"note: hardware_concurrency differs (committed "
+          f"{base.get('hardware_concurrency')} vs fresh "
+          f"{cur.get('hardware_concurrency')}) — timing band skipped")
+
+regressions = []
+for k in sorted(set(base_rows) & set(cur_rows)):
+    b, c = base_rows[k], cur_rows[k]
+    for col in DETERMINISTIC_COLS:
+        if b.get(col) != c.get(col):
+            failures.append(f"{k} {col}: committed {b.get(col)!r} != "
+                            f"fresh {c.get(col)!r}")
+    if same_hw and b.get("mib_per_s", 0) > 0:
+        rel = c["mib_per_s"] / b["mib_per_s"] - 1.0
+        if rel < -tol:
+            regressions.append(f"{k}: {b['mib_per_s']:.1f} -> "
+                               f"{c['mib_per_s']:.1f} MiB/s ({rel:+.0%})")
+        elif rel > tol:
+            print(f"note: {k} improved {rel:+.0%} — consider --update")
+
+# Acceptance floor: only assertable with real parallel hardware, and on
+# the bench's best 4-worker configuration — the codec-bound rung; the
+# fast rungs can legitimately be bound by the feeding thread.
+if cur.get("hardware_concurrency", 0) >= 4:
+    at4 = [r.get("speedup_vs_1", 0) for r in cur_rows.values()
+           if r.get("workers") == 4]
+    if at4 and max(at4) < 2.0:
+        regressions.append(f"best speedup_vs_1 at 4 workers "
+                           f"{max(at4)} < 2.0 floor")
+
+for f_ in failures:
+    print(f"MISMATCH {f_}", file=sys.stderr)
+for r in regressions:
+    print(f"REGRESSION {r}", file=sys.stderr)
+if failures or regressions:
+    print("verdict: REGRESSION", file=sys.stderr)
+    sys.exit(1)
+print("verdict: OK")
+EOF
+  then
+    echo "!!! $bench: trajectory check failed (rerun with --update to" \
+         "accept a new baseline)" >&2
+    status=1
+  fi
+done
+
+exit $status

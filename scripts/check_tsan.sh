@@ -17,6 +17,7 @@ TESTS=(
   common_concurrency_test
   common_lockgraph_test
   compress_pipeline_test
+  compress_decode_pipeline_test
   core_stream_test
   dataflow_channel_test
   verify_oracle_test

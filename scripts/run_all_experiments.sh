@@ -34,6 +34,14 @@ for b in "$BUILD"/bench/bench_*; do
   echo
 done
 
+# Benchmark trajectory gate: re-run the scaling benches with file output
+# and compare against the committed BENCH_*.json baselines (tolerance
+# band on throughput, exact match on the deterministic fields).
+if ! "$SCRIPT_DIR/check_bench.sh" "$BUILD"; then
+  echo "!!! bench trajectory check failed" >&2
+  status=1
+fi
+
 # Timeline CSVs for external plotting.
 "$BUILD"/bench/bench_fig4_timeline_high --csv "$OUT/fig4_timeline.csv" >/dev/null
 "$BUILD"/bench/bench_fig5_timeline_low  --csv "$OUT/fig5_timeline.csv" >/dev/null

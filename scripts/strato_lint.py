@@ -21,6 +21,14 @@ into every presubmit script (check_static.sh runs this first):
   nodiscard        status-returning APIs (bool try_*(), std::optional<T>
                    returners) must be [[nodiscard]] — dropping a failed
                    try_push is exactly how metrics silently lie.
+  copy             src/compress/framing.* is the zero-copy receive path:
+                   payload bytes must flow as spans over pooled buffers,
+                   so memcpy/memmove, std::copy and container
+                   insert/assign are banned there. The sanctioned copies
+                   (header prefix of an encoded frame, the partial-frame
+                   tail on buffer wraparound) carry an explicit
+                   `// strato-lint: allow(copy)` so every byte copy on
+                   the wire path is a reviewable artifact.
   pragma-once      every header starts with #pragma once.
   using-namespace  `using namespace std` is banned in src/.
   include-path     project includes are "dir/file.h" from the src/ root:
@@ -62,6 +70,9 @@ STDOUT_ALLOWED = {
 
 WALLCLOCK_DIRS = ("vsim/", "verify/")
 
+# The zero-copy framing layer: every payload byte copy needs allow(copy).
+COPY_BANNED_PREFIX = "compress/framing."
+
 RULES = {
     "wallclock": [
         (re.compile(r"system_clock"), "std::chrono::system_clock"),
@@ -80,6 +91,14 @@ RULES = {
         (re.compile(r"(?<![A-Za-z0-9_:])(?:std::)?printf\s*\("), "printf to stdout"),
         (re.compile(r"(?<![A-Za-z0-9_])puts\s*\("), "puts()"),
         (re.compile(r"fprintf\s*\(\s*stdout"), "fprintf(stdout, ...)"),
+    ],
+    "copy": [
+        (re.compile(r"(?<![A-Za-z0-9_])(?:std::)?mem(?:cpy|move)\s*\("),
+         "memcpy/memmove on the zero-copy framing path"),
+        (re.compile(r"std::copy(_n|_backward)?\b"),
+         "std::copy on the zero-copy framing path"),
+        (re.compile(r"\.\s*(insert|assign)\s*\("),
+         "container insert/assign (byte copy) on the framing path"),
     ],
     "using-namespace": [
         (re.compile(r"\busing\s+namespace\s+std\b"), "using namespace std"),
@@ -201,6 +220,8 @@ def lint_file(path: Path, rel: str):
             check("raw-mutex", RULES["raw-mutex"])
         if rel not in STDOUT_ALLOWED:
             check("stdout", RULES["stdout"])
+        if rel.startswith(COPY_BANNED_PREFIX):
+            check("copy", RULES["copy"])
         check("using-namespace", RULES["using-namespace"])
         check("include-path", RULES["include-path"])
 
@@ -240,6 +261,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("core/bad_header.h", "nodiscard"): 2,
     ("core/bad_header.h", "using-namespace"): 1,
     ("core/bad_header.h", "include-path"): 1,
+    ("compress/framing.cc", "copy"): 4,
 }
 
 

@@ -22,11 +22,12 @@ std::size_t encode_block_into(const Codec& codec, std::uint8_t level,
   std::uint8_t codec_id = codec.id();
   if (comp_size >= payload.size() && codec_id != kCodecNull) {
     // Compression lost; store raw so the frame never expands beyond the
-    // header overhead.
+    // header overhead. Send-side stored fallback: the one sanctioned
+    // payload copy in the encoder.
     comp_size = payload.size();
     codec_id = kCodecNull;
-    std::memcpy(frame.data() + kFrameHeaderSize, payload.data(),
-                payload.size());
+    std::memcpy(frame.data() + kFrameHeaderSize,  // strato-lint: allow(copy)
+                payload.data(), payload.size());
   }
   frame.resize(kFrameHeaderSize + comp_size);
 
@@ -68,40 +69,78 @@ FrameHeader parse_header(common::ByteSpan frame) {
   return hdr;
 }
 
+std::optional<FrameView> try_parse_frame(common::ByteSpan buf) {
+  if (buf.size() < kFrameHeaderSize) return std::nullopt;
+  FrameView view;
+  view.header = parse_header(buf);
+  view.frame_size = kFrameHeaderSize + view.header.comp_size;
+  if (buf.size() < view.frame_size) return std::nullopt;
+  view.payload = buf.subspan(kFrameHeaderSize, view.header.comp_size);
+  return view;
+}
+
+void decode_frame_into(const FrameView& view, const CodecRegistry& registry,
+                       common::Bytes& raw) {
+  const Codec& codec = registry.codec_by_id(view.header.codec_id);
+  raw.resize(view.header.raw_size);
+  codec.decompress(view.payload, raw);
+  if (common::xxh64(raw) != view.header.checksum) {
+    throw CodecError("frame: checksum mismatch");
+  }
+}
+
 common::Bytes decode_block(common::ByteSpan frame,
                            const CodecRegistry& registry) {
   const FrameHeader hdr = parse_header(frame);
   if (frame.size() != kFrameHeaderSize + hdr.comp_size) {
     throw CodecError("frame: size mismatch");
   }
-  const Codec& codec = registry.codec_by_id(hdr.codec_id);
-  common::Bytes raw(hdr.raw_size);
-  codec.decompress(frame.subspan(kFrameHeaderSize), raw);
-  if (common::xxh64(raw) != hdr.checksum) {
-    throw CodecError("frame: checksum mismatch");
-  }
+  FrameView view;
+  view.header = hdr;
+  view.payload = frame.subspan(kFrameHeaderSize);
+  view.frame_size = frame.size();
+  common::Bytes raw;
+  decode_frame_into(view, registry, raw);
   return raw;
 }
 
 void FrameAssembler::feed(common::ByteSpan data) {
-  // Compact the buffer when the consumed prefix dominates.
-  if (off_ > 0 && off_ >= buf_.size() / 2) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+  // Wraparound-only compaction: unconsumed bytes move at most once, and
+  // only when the append could not reuse existing capacity anyway. A fully
+  // consumed buffer just resets the offset (no byte moves at all).
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ > 0 && buf_.size() + data.size() > buf_.capacity()) {
+    buf_.erase(buf_.begin(),  // strato-lint: allow(copy)
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
     off_ = 0;
   }
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  // The receive-buffer append: the single sanctioned wire-byte copy on the
+  // serial receive path.
+  buf_.insert(buf_.end(), data.begin(), data.end());  // strato-lint: allow(copy)
 }
 
 std::optional<common::Bytes> FrameAssembler::next_block() {
   const std::size_t avail = buf_.size() - off_;
-  if (avail < kFrameHeaderSize) return std::nullopt;
-  const common::ByteSpan view(buf_.data() + off_, avail);
-  const FrameHeader hdr = parse_header(view);
-  const std::size_t total = kFrameHeaderSize + hdr.comp_size;
-  if (avail < total) return std::nullopt;
-  common::Bytes block = decode_block(view.subspan(0, total), registry_);
-  last_ = hdr;
-  off_ += total;
+  // Each frame's header is parsed exactly once: cached on the first call
+  // that sees it complete, reused while starved for payload bytes.
+  if (pending_frame_size_ == 0) {
+    if (avail < kFrameHeaderSize) return std::nullopt;
+    pending_hdr_ = parse_header(common::ByteSpan(buf_.data() + off_, avail));
+    pending_frame_size_ = kFrameHeaderSize + pending_hdr_.comp_size;
+  }
+  if (avail < pending_frame_size_) return std::nullopt;
+  FrameView view;
+  view.header = pending_hdr_;
+  view.payload = common::ByteSpan(buf_.data() + off_ + kFrameHeaderSize,
+                                  pending_hdr_.comp_size);
+  view.frame_size = pending_frame_size_;
+  common::Bytes block;
+  decode_frame_into(view, registry_, block);
+  last_ = view.header;
+  off_ += view.frame_size;
+  pending_frame_size_ = 0;
   return block;
 }
 

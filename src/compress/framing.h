@@ -67,6 +67,29 @@ std::size_t encode_block_into(const Codec& codec, std::uint8_t level,
 /// truncated header.
 FrameHeader parse_header(common::ByteSpan frame);
 
+/// Zero-copy view of one parsed frame: the validated header plus a span of
+/// the compressed payload *inside the caller's receive buffer*. Nothing is
+/// copied; the view is valid exactly as long as the underlying buffer
+/// bytes stay put (see the ownership rules in DESIGN.md section 9).
+struct FrameView {
+  FrameHeader header;
+  common::ByteSpan payload;     ///< comp_size bytes, borrowed from the buffer
+  std::size_t frame_size = 0;   ///< header + payload bytes this frame spans
+};
+
+/// Parse one complete frame from the front of `buf` without copying.
+/// @returns nullopt when more bytes are needed (short header or short
+/// payload). @throws CodecError on a malformed header.
+[[nodiscard]] std::optional<FrameView> try_parse_frame(common::ByteSpan buf);
+
+/// Decode a parsed frame in place: decompress `view.payload` into `raw`
+/// (resized to header.raw_size, reusing capacity — typically a pooled
+/// buffer) and verify the checksum. The payload span is read where it
+/// lies; no intermediate frame copy is made.
+/// @throws CodecError on any inconsistency.
+void decode_frame_into(const FrameView& view, const CodecRegistry& registry,
+                       common::Bytes& raw);
+
 /// Decode one framed block (header + payload, exact size). Verifies the
 /// checksum. @throws CodecError on any inconsistency.
 common::Bytes decode_block(common::ByteSpan frame,
@@ -74,6 +97,14 @@ common::Bytes decode_block(common::ByteSpan frame,
 
 /// Incremental frame extractor for byte-stream transports: feed arbitrary
 /// chunks, pop complete decoded blocks.
+///
+/// The consumed prefix is tracked as a persistent offset into the buffer;
+/// feeding never re-copies unconsumed bytes just because a partial frame
+/// is pending. The buffer is compacted only on wraparound — when an append
+/// would force the vector to reallocate anyway — so steady-state frame
+/// extraction moves each wire byte exactly once. The size of a pending
+/// partial frame is cached so repeated next_block() calls while starved do
+/// not re-parse the header.
 class FrameAssembler {
  public:
   explicit FrameAssembler(const CodecRegistry& registry)
@@ -96,6 +127,10 @@ class FrameAssembler {
   const CodecRegistry& registry_;
   common::Bytes buf_;
   std::size_t off_ = 0;
+  /// Total size + header of the pending (partial) frame once its header
+  /// has been parsed; size 0 = unknown (header not yet complete).
+  std::size_t pending_frame_size_ = 0;
+  FrameHeader pending_hdr_;
   FrameHeader last_;
 };
 

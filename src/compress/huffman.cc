@@ -122,7 +122,7 @@ HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
 }
 
 HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
-    : table_(std::size_t{1} << kMaxHuffmanBits) {
+    : table_(std::size_t{1} << kHuffmanLutBits) {
   std::uint32_t bl_count[kMaxHuffmanBits + 1] = {};
   std::uint64_t kraft = 0;
   for (const auto l : lengths) {
@@ -137,14 +137,29 @@ HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
   }
   std::uint32_t next_code[kMaxHuffmanBits + 2] = {};
   std::uint32_t code = 0;
+  std::uint32_t offset = 0;
   for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
     code = (code + bl_count[bits - 1]) << 1;
     next_code[bits] = code;
+    first_code_[bits] = code;
+    count_[bits] = bl_count[bits];
+    sym_offset_[bits] = offset;
+    offset += bl_count[bits];
   }
+  symbols_.resize(offset);
   for (std::size_t s = 0; s < lengths.size(); ++s) {
     const int len = lengths[s];
     if (len == 0) continue;
     const std::uint32_t canonical = next_code[len]++;
+    // Canonical (length, symbol) order for the walk tables. Symbols are
+    // assigned canonical codes in ascending symbol order per length, so
+    // this fills each length's run left to right.
+    symbols_[sym_offset_[len] + (canonical - first_code_[len])] =
+        static_cast<std::uint16_t>(s);
+    if (len > kHuffmanLutBits) continue;  // long codes resolve via the walk
+    // Short code: claim every LUT window whose low `len` bits match the
+    // bit-reversed code (the stream is LSB-first). Prefix-freeness
+    // guarantees no window is claimed twice.
     const std::uint32_t base = reverse_bits(canonical, len);
     const std::size_t step = std::size_t{1} << len;
     for (std::size_t i = base; i < table_.size(); i += step) {
@@ -154,11 +169,18 @@ HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
   }
 }
 
-std::uint32_t HuffmanDecoder::decode(BitReader& br) const {
-  const Entry e = table_[br.peek(kMaxHuffmanBits)];
-  if (e.length == 0) throw CodecError("huffman: invalid code");
-  br.skip(e.length);
-  return e.symbol;
+std::uint32_t HuffmanDecoder::decode_long(BitReader& br) const {
+  // The LUT window held no short code: either a long code starts here or
+  // the window is invalid. Rebuild the canonical (MSB-first) code bit by
+  // bit — the LSB-first stream delivers code bits most-significant-first.
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code = (code << 1) | br.read(1);
+    if (code >= first_code_[len] && code - first_code_[len] < count_[len]) {
+      return symbols_[sym_offset_[len] + (code - first_code_[len])];
+    }
+  }
+  throw CodecError("huffman: invalid code");
 }
 
 }  // namespace strato::compress

@@ -17,6 +17,16 @@ namespace strato::compress {
 /// Maximum code length supported (fits the 4-bit on-wire length field).
 inline constexpr int kMaxHuffmanBits = 15;
 
+/// Width of the decoder's single-level fast-path lookup table. Codes of at
+/// most this many bits (the overwhelming majority — canonical Huffman puts
+/// frequent symbols in short codes) resolve with one peek + one table
+/// load; longer codes fall back to the canonical per-length walk. 10 bits
+/// keeps the table at 1024 entries (4 KB, L1-resident) and makes per-block
+/// decoder construction ~32x cheaper than a full 2^15 table — the build
+/// cost is paid for every framed block, so it dominates entropy-decode
+/// time on short blocks.
+inline constexpr int kHuffmanLutBits = 10;
+
 /// Compute length-limited code lengths for the given symbol frequencies
 /// (Huffman + repair). Symbols with zero frequency get length 0.
 /// If fewer than two symbols occur, the occurring symbol gets length 1.
@@ -44,7 +54,11 @@ class HuffmanEncoder {
   std::vector<std::uint8_t> lengths_;
 };
 
-/// Canonical decoder built from the same lengths.
+/// Canonical decoder built from the same lengths. Two-tier: a
+/// kHuffmanLutBits-wide table resolves short codes in one load; codes
+/// longer than the window fall back to a canonical first-code walk
+/// (slow-path entry decode(), cold by construction — long codes are rare
+/// symbols).
 class HuffmanDecoder {
  public:
   /// @throws CodecError when the length array is not a valid (sub-)Kraft
@@ -52,15 +66,34 @@ class HuffmanDecoder {
   explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
 
   /// Decode the next symbol. @throws CodecError on an invalid code.
-  std::uint32_t decode(BitReader& br) const;
+  std::uint32_t decode(BitReader& br) const {
+    const Entry e = table_[br.peek(kHuffmanLutBits)];
+    if (e.length != 0) {
+      br.skip(e.length);
+      return e.symbol;
+    }
+    return decode_long(br);
+  }
 
  private:
-  // Single-level lookup table: kMaxHuffmanBits-bit window -> (symbol, len).
+  /// Canonical MSB-first walk for codes longer than the LUT window (and
+  /// the CodecError for windows no code occupies).
+  std::uint32_t decode_long(BitReader& br) const;
+
+  // Fast path: kHuffmanLutBits-bit window -> (symbol, len) for every code
+  // of length <= kHuffmanLutBits; length 0 = fall back to the walk.
   struct Entry {
     std::uint16_t symbol = 0;
-    std::uint8_t length = 0;  // 0 = invalid window
+    std::uint8_t length = 0;
   };
   std::vector<Entry> table_;
+  // Walk tables, indexed by code length: first canonical code, number of
+  // codes, and the offset of that length's first symbol in symbols_
+  // (symbols in canonical (length, symbol) order).
+  std::uint32_t first_code_[kMaxHuffmanBits + 1] = {};
+  std::uint32_t count_[kMaxHuffmanBits + 1] = {};
+  std::uint32_t sym_offset_[kMaxHuffmanBits + 1] = {};
+  std::vector<std::uint16_t> symbols_;
 };
 
 }  // namespace strato::compress

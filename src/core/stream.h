@@ -18,6 +18,7 @@
 #include "common/mutex.h"
 #include "common/sim_time.h"
 #include "common/thread_annotations.h"
+#include "compress/decode_pipeline.h"
 #include "compress/framing.h"
 #include "compress/pipeline.h"
 #include "compress/registry.h"
@@ -103,21 +104,41 @@ class CompressingWriter {
   std::unique_ptr<compress::ParallelBlockPipeline> pipeline_;
 };
 
+/// Receive-side parallelism knobs (the decode mirror of worker_count /
+/// pipeline_depth on the compressing side).
+struct DecompressionSpec {
+  /// Decode worker threads; <= 1 decodes inline on the reading thread
+  /// (no threads are created).
+  std::size_t worker_count = 1;
+  /// Reorder-window depth (max blocks decoding at once); 0 = 2 * workers.
+  std::size_t pipeline_depth = 0;
+};
+
 /// Receiving side: feed framed bytes, pop decompressed blocks.
+///
+/// Runs on a ParallelBlockDecodePipeline at every worker count (1 worker =
+/// inline decode through the same machinery): frames are parsed zero-copy
+/// out of pooled receive segments and, with worker_count > 1, decoded
+/// out of order while delivery stays strictly in wire order. The
+/// delivered bytes — and any error, at its exact block position — are
+/// identical to the serial path.
 class DecompressingReader {
  public:
-  explicit DecompressingReader(const compress::CodecRegistry& registry)
-      : assembler_(registry) {}
+  explicit DecompressingReader(const compress::CodecRegistry& registry,
+                               DecompressionSpec spec = {})
+      : pipeline_(registry, make_config(spec)) {}
 
-  /// Append bytes received from the I/O layer.
-  void feed(common::ByteSpan data) { assembler_.feed(data); }
+  /// Append bytes received from the I/O layer. Never blocks on workers.
+  void feed(common::ByteSpan data) { pipeline_.feed(data); }
 
-  /// Next decoded block, or nullopt if more input is needed.
-  [[nodiscard]] std::optional<common::Bytes> next_block() {
-    auto block = assembler_.next_block();
+  /// Zero-copy variant: the next decoded block as a lease into the
+  /// pipeline's pooled output buffer. The view is valid until the next
+  /// next_block_view()/next_block() call.
+  [[nodiscard]] std::optional<compress::DecodedBlock> next_block_view() {
+    auto block = pipeline_.next_block();
     if (block) {
-      raw_bytes_ += block->size();
-      const auto lvl = assembler_.last_header().level;
+      raw_bytes_ += block->data.size();
+      const auto lvl = block->header.level;
       if (lvl >= blocks_per_level_.size()) {
         blocks_per_level_.resize(lvl + 1, 0);
       }
@@ -126,15 +147,38 @@ class DecompressingReader {
     return block;
   }
 
+  /// Next decoded block, or nullopt if more input is needed (copying
+  /// compatibility API; prefer next_block_view() on hot paths).
+  [[nodiscard]] std::optional<common::Bytes> next_block() {
+    auto block = next_block_view();
+    if (!block) return std::nullopt;
+    return common::Bytes(block->data.begin(), block->data.end());
+  }
+
   /// Raw bytes decoded so far.
   [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
   /// Blocks received per frame level.
   [[nodiscard]] const std::vector<std::uint64_t>& blocks_per_level() const {
     return blocks_per_level_;
   }
+  /// Decode workers actually running (0 = inline).
+  [[nodiscard]] std::size_t worker_count() const {
+    return pipeline_.worker_count();
+  }
+  /// Pipeline internals for tests and benches.
+  [[nodiscard]] const compress::ParallelBlockDecodePipeline& pipeline() const {
+    return pipeline_;
+  }
 
  private:
-  compress::FrameAssembler assembler_;
+  static compress::DecodePipelineConfig make_config(DecompressionSpec spec) {
+    compress::DecodePipelineConfig cfg;
+    cfg.worker_count = spec.worker_count;
+    cfg.depth = spec.pipeline_depth;
+    return cfg;
+  }
+
+  compress::ParallelBlockDecodePipeline pipeline_;
   std::uint64_t raw_bytes_ = 0;
   std::vector<std::uint64_t> blocks_per_level_;
 };

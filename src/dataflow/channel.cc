@@ -96,7 +96,8 @@ class CompressedChannelBase : public Channel {
         policy_(make_policy(spec, registry)),
         compressing_writer_(sink, registry, *policy_, clock_, block_size,
                             spec.worker_count, spec.pipeline_depth),
-        decompressing_reader_(registry) {}
+        decompressing_reader_(
+            registry, {spec.decode_worker_count, spec.decode_depth}) {}
 
   ChannelStats stats() const override {
     ChannelStats s;
@@ -123,8 +124,10 @@ class CompressedChannelBase : public Channel {
   std::optional<common::Bytes> read_record(PullFn&& pull) {
     for (;;) {
       if (auto rec = records_in_.next_record()) return rec;
-      if (auto block = decompressing_reader_.next_block()) {
-        records_in_.feed(*block);
+      // Zero-copy hand-off: the decoded block is a lease into the decode
+      // pipeline's pooled buffer; RecordAssembler copies what it keeps.
+      if (auto block = decompressing_reader_.next_block_view()) {
+        records_in_.feed(block->data);
         continue;
       }
       const common::Bytes chunk = pull();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "compress/decode_pipeline.h"
 #include "compress/framing.h"
 #include "compress/pipeline.h"
 
@@ -158,6 +159,87 @@ void Oracle::check_pipeline_identity(
       report.failures.push_back(where + ": decoded " + std::to_string(got) +
                                 " of " + std::to_string(payloads.size()) +
                                 " blocks");
+    }
+  }
+}
+
+namespace {
+
+/// Outcome of decoding one wire end to end: the delivered blocks plus the
+/// error (if any) that ended the stream.
+struct DecodeRun {
+  std::vector<common::Bytes> blocks;
+  std::string error;  // empty = clean
+};
+
+}  // namespace
+
+void Oracle::check_decode_identity(
+    common::ByteSpan wire, const std::vector<std::size_t>& worker_counts,
+    const std::vector<std::size_t>& chunk_sizes, OracleReport& report) const {
+  // Serial reference: the FrameAssembler defines the observable contract
+  // (block sequence, and which error after how many good blocks).
+  DecodeRun reference;
+  {
+    compress::FrameAssembler assembler(registry_);
+    assembler.feed(wire);
+    try {
+      while (auto block = assembler.next_block()) {
+        reference.blocks.push_back(std::move(*block));
+      }
+    } catch (const std::exception& e) {
+      reference.error = e.what();
+    }
+  }
+
+  for (const std::size_t workers : worker_counts) {
+    for (const std::size_t chunk : chunk_sizes) {
+      const std::string where = "decode workers=" + std::to_string(workers) +
+                                " chunk=" + std::to_string(chunk);
+      DecodeRun run;
+      {
+        compress::DecodePipelineConfig cfg;
+        cfg.worker_count = workers;
+        compress::ParallelBlockDecodePipeline pipeline(registry_, cfg);
+        try {
+          // Feed in chunks, draining between feeds — exercises partial
+          // frames, the reorder window, and segment wraparound.
+          std::size_t off = 0;
+          while (off < wire.size()) {
+            const std::size_t n = std::min(chunk, wire.size() - off);
+            pipeline.feed(wire.subspan(off, n));
+            off += n;
+            while (auto block = pipeline.next_block()) {
+              run.blocks.emplace_back(block->data.begin(), block->data.end());
+            }
+          }
+        } catch (const std::exception& e) {
+          run.error = e.what();
+        }
+      }
+      ++report.checks;
+      if (run.error != reference.error) {
+        report.failures.push_back(where + ": error mismatch (\"" + run.error +
+                                  "\" vs serial \"" + reference.error + "\")");
+        continue;
+      }
+      ++report.checks;
+      if (run.blocks.size() != reference.blocks.size()) {
+        report.failures.push_back(
+            where + ": delivered " + std::to_string(run.blocks.size()) +
+            " blocks, serial delivered " +
+            std::to_string(reference.blocks.size()));
+        continue;
+      }
+      ++report.checks;
+      for (std::size_t i = 0; i < run.blocks.size(); ++i) {
+        if (run.blocks[i] != reference.blocks[i]) {
+          report.failures.push_back(
+              where + ": block " + std::to_string(i) + " diverged (" +
+              diff_context(run.blocks[i], reference.blocks[i]) + ")");
+          break;
+        }
+      }
     }
   }
 }

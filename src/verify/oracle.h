@@ -59,6 +59,16 @@ class Oracle {
                                const std::vector<std::size_t>& worker_counts,
                                OracleReport& report) const;
 
+  /// Receive-side mirror: decode `wire` through the serial FrameAssembler
+  /// (the reference) and through ParallelBlockDecodePipeline at each
+  /// worker count x feed-chunk size. The delivered block sequence must be
+  /// byte-identical, and if the wire is malformed the SAME error must
+  /// surface after the SAME number of good blocks, in every configuration.
+  void check_decode_identity(common::ByteSpan wire,
+                             const std::vector<std::size_t>& worker_counts,
+                             const std::vector<std::size_t>& chunk_sizes,
+                             OracleReport& report) const;
+
  private:
   const compress::CodecRegistry& registry_;
 };

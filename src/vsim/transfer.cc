@@ -60,6 +60,8 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
   const std::size_t qr = std::max<std::size_t>(1, config_.recv_queue_blocks);
   std::vector<SimTime> link_end_ring(qs);
   std::vector<SimTime> decomp_end_ring(qr);
+  const std::size_t kw = std::max<std::size_t>(1, config_.recv_workers);
+  std::vector<SimTime> recv_worker_free(kw);
 
   SimTime comp_end_prev, link_end_prev, decomp_end_prev;
   TransferResult res;
@@ -129,12 +131,22 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
     const SimTime link_end = link_start + SimTime::seconds(wire / rate);
 
     // --- receiver CPU stage ----------------------------------------------
-    const SimTime decomp_start = std::max(link_end, decomp_end_prev);
+    // k-server decode: the block starts when it has arrived AND the
+    // least-loaded worker is free; delivery (decomp_end) is re-sequenced
+    // into arrival order like the real decode pipeline. With one worker
+    // the min element IS decomp_end_prev, so this is exactly the paper's
+    // serial recurrence.
+    auto free_at =
+        std::min_element(recv_worker_free.begin(), recv_worker_free.end());
+    const SimTime decomp_start = std::max(link_end, *free_at);
     const double decomp_cpu_s =
         static_cast<double>(raw) /
             (beh.decompress_bytes_s * config_.codec_speed_factor * js) +
         wire * io_cpu_s_per_byte;
-    const SimTime decomp_end = decomp_start + SimTime::seconds(decomp_cpu_s);
+    const SimTime decomp_finish =
+        decomp_start + SimTime::seconds(decomp_cpu_s);
+    *free_at = decomp_finish;
+    const SimTime decomp_end = std::max(decomp_finish, decomp_end_prev);
 
     // --- bookkeeping -----------------------------------------------------
     link_end_ring[block_index % qs] = link_end;

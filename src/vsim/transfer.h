@@ -17,6 +17,11 @@
 //   link_end[i]   = link_start[i] + wire_bytes(i) / fg_rate(link_start[i])
 //   decomp_end[i] = max(link_end[i], decomp_end[i-1]) + decomp_time(i)
 //
+// With recv_workers = k > 1 the receiver stage becomes a k-server queue
+// (block i starts when it has arrived and the least-loaded worker frees
+// up; delivery is re-sequenced in order, mirroring the real
+// ParallelBlockDecodePipeline); k = 1 reduces to the recurrence above.
+//
 // The policy under test is driven exactly as on the real transport: its
 // level is read at comp_start and on_block(raw, comp_end) feeds the rate
 // meter, so backpressure from any stage shows up in the application data
@@ -62,6 +67,11 @@ struct TransferConfig {
   double speed_jitter = 0.04;
   std::size_t send_queue_blocks = 8;
   std::size_t recv_queue_blocks = 8;
+  /// Receive-side decode workers (the DecompressionSpec analogue): blocks
+  /// start decompressing when they have arrived AND a worker is free;
+  /// delivery stays in arrival order. 1 reproduces the paper's serial
+  /// receiver exactly (the recurrence below is unchanged).
+  std::size_t recv_workers = 1;
   /// Record per-second series for the timeline figures.
   bool record_timeline = false;
   CodecModel model = CodecModel::defaults();

@@ -108,7 +108,7 @@ constexpr std::size_t kTotal = 24 << 20;   // 24 MB per run (CI-friendly)
 constexpr double kSlowLink = 10e6;         // 10 MB/s "shared" link
 
 TEST(SampleJob, DataIntegrityAcrossAllPolicies) {
-  for (const auto spec :
+  for (const auto& spec :
        {CompressionSpec::none(), CompressionSpec::fixed(1),
         CompressionSpec::fixed(2), CompressionSpec::fixed(3),
         CompressionSpec::adaptive_default(common::SimTime::ms(100))}) {

@@ -1,0 +1,20 @@
+// Seeded violations for the `copy` rule: the fixture mirrors the real
+// zero-copy framing path, where payload byte copies are banned unless
+// annotated. Four violations below; the annotated tail copy must stay
+// clean (it exercises the allow() escape hatch).
+#include <cstring>
+#include <vector>
+
+namespace strato::compress {
+
+void fixture_copy_violations(std::vector<unsigned char>& buf,
+                             const unsigned char* src, unsigned long n) {
+  std::memcpy(buf.data(), src, n);                      // violation 1
+  std::memmove(buf.data() + 1, buf.data(), n - 1);      // violation 2
+  std::copy(src, src + n, buf.begin());                 // violation 3
+  buf.insert(buf.end(), src, src + n);                  // violation 4
+  // The partial-frame tail on wraparound is the sanctioned copy.
+  buf.assign(src, src + n);  // strato-lint: allow(copy)
+}
+
+}  // namespace strato::compress

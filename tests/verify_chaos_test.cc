@@ -12,6 +12,7 @@
 #include "common/chaos.h"
 #include "common/checksum.h"
 #include "common/rng.h"
+#include "compress/decode_pipeline.h"
 #include "core/throttled_pipe.h"
 #include "corpus/generator.h"
 #include "expkit/policies.h"
@@ -220,6 +221,105 @@ TEST(PipeChaos, SameScheduleSameBytes) {
   EXPECT_EQ(a, b);  // replayable: same seed, same damage, any chunking
   const common::Bytes c = pump(sent.wire, ChaosSchedule::random(spec, 100));
   EXPECT_NE(a, c);
+}
+
+// --- Decode-pipeline ladder under chaos -------------------------------------
+
+/// What a receiver observes decoding one damaged wire: the ordered block
+/// hashes it delivered, and the error (if any) that ended the stream.
+struct DecodeOutcome {
+  std::vector<std::uint64_t> block_hashes;
+  std::string error;
+
+  bool operator==(const DecodeOutcome& o) const {
+    return block_hashes == o.block_hashes && error == o.error;
+  }
+};
+
+DecodeOutcome decode_serial(const common::Bytes& received) {
+  compress::FrameAssembler assembler(compress::CodecRegistry::standard());
+  assembler.feed(received);
+  DecodeOutcome out;
+  try {
+    while (auto block = assembler.next_block()) {
+      out.block_hashes.push_back(common::xxh64(*block));
+    }
+  } catch (const compress::CodecError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+DecodeOutcome decode_parallel(const common::Bytes& received,
+                              std::size_t workers, std::size_t chunk) {
+  compress::DecodePipelineConfig cfg;
+  cfg.worker_count = workers;
+  compress::ParallelBlockDecodePipeline pipeline(
+      compress::CodecRegistry::standard(), cfg);
+  DecodeOutcome out;
+  try {
+    std::size_t off = 0;
+    while (off < received.size()) {
+      const std::size_t n = std::min(chunk, received.size() - off);
+      pipeline.feed(common::ByteSpan(received.data() + off, n));
+      off += n;
+      while (auto block = pipeline.next_block()) {
+        out.block_hashes.push_back(common::xxh64(block->data));
+      }
+    }
+  } catch (const compress::CodecError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+TEST(DecodeChaos, WorkerLadderMatchesSerialOnDamagedWires) {
+  // Truncated, corrupted and stalled wires must produce the same blocks
+  // and the same error at every worker count and feed chunking — the
+  // receive-side pipeline may never turn damage into divergence. Seeds
+  // are replayable via STRATO_CHAOS_SEED.
+  const std::uint64_t seed = announce_seed(
+      "STRATO_CHAOS_SEED", seed_from_env("STRATO_CHAOS_SEED", 0xDECA1));
+  for (int trial = 0; trial < 8; ++trial) {
+    const FramedStream sent = make_stream(seed + trial, 4);
+    ChaosSchedule::RandomSpec spec;
+    spec.range = sent.wire.size();
+    spec.corruptions = 2;
+    spec.drops = 1;
+    spec.max_drop_span = 24;
+    spec.stalls = 1;
+    const common::Bytes received =
+        pump(sent.wire, ChaosSchedule::random(spec, seed ^ (trial + 17)));
+
+    const DecodeOutcome serial = decode_serial(received);
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      for (const std::size_t chunk :
+           {std::size_t{17}, std::max<std::size_t>(1, received.size())}) {
+        const DecodeOutcome par = decode_parallel(received, workers, chunk);
+        EXPECT_TRUE(par == serial)
+            << "trial=" << trial << " workers=" << workers
+            << " chunk=" << chunk << ": blocks " << par.block_hashes.size()
+            << " vs " << serial.block_hashes.size() << ", error \""
+            << par.error << "\" vs \"" << serial.error << "\"";
+      }
+    }
+  }
+}
+
+TEST(DecodeChaos, TruncatedFrameStarvesEveryWorkerCountAlike) {
+  const std::uint64_t seed = announce_seed(
+      "STRATO_CHAOS_SEED", seed_from_env("STRATO_CHAOS_SEED", 0xDECA1));
+  const FramedStream sent = make_stream(seed, 5);
+  common::Bytes truncated = sent.wire;
+  truncated.resize(truncated.size() * 3 / 4);  // mid-frame cut
+  const DecodeOutcome serial = decode_serial(truncated);
+  EXPECT_EQ(serial.error, "");  // starvation, not an error
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    const DecodeOutcome par =
+        decode_parallel(truncated, workers, truncated.size());
+    EXPECT_TRUE(par == serial) << "workers=" << workers;
+  }
 }
 
 // --- SharedLink blackouts ---------------------------------------------------

@@ -126,6 +126,39 @@ TEST(Oracle, ExtendedLadderPipelineIdentity) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+TEST(Oracle, DecodeIdentityAcrossWorkersAndChunks) {
+  const auto& registry = compress::CodecRegistry::standard();
+  Oracle oracle(registry);
+  std::vector<common::Bytes> payloads;
+  std::vector<int> levels;
+  for (int i = 0; i < 9; ++i) {
+    payloads.push_back(adversarial_payload(123 + i, 3000 + i * 777));
+    levels.push_back(i % static_cast<int>(registry.level_count()));
+  }
+  const common::Bytes wire = oracle.serial_wire(payloads, levels);
+  OracleReport report;
+  oracle.check_decode_identity(wire, {1, 2, 4, 8}, {64, 4096, wire.size()},
+                               report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(Oracle, DecodeIdentityHoldsOnDamagedWire) {
+  // On a corrupted wire the serial reference throws mid-stream; the
+  // parallel decodes must agree on the error and on every block before it.
+  const auto& registry = compress::CodecRegistry::standard();
+  Oracle oracle(registry);
+  std::vector<common::Bytes> payloads;
+  for (int i = 0; i < 6; ++i) {
+    payloads.push_back(adversarial_payload(55 + i, 2000 + i * 501));
+  }
+  common::Bytes wire = oracle.serial_wire(payloads, {0, 1, 2, 0, 1, 2});
+  wire[wire.size() / 2] ^= 0x40;  // damage somewhere past the first frames
+  OracleReport report;
+  oracle.check_decode_identity(wire, {1, 2, 4}, {33, wire.size()}, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 // A codec that decompresses to the wrong bytes: the oracle must catch it
 // and report enough context to act on, proving the harness can actually
 // fail (a test of the test).
