@@ -1,0 +1,153 @@
+// Fleet-scale acceptance bench: ~100k multi-tenant adaptive-compression
+// flows over a rack -> spine -> WAN fabric, single-threaded, deterministic
+// per seed. Emits one JSON object on stdout and mirrors it to the file
+// named by argv[1] (the committed BENCH_fleet.json trajectory — see
+// scripts/check_bench.sh).
+//
+// Acceptance targets:
+//   * the run completes within kWallBudgetS (60 s) of wall clock on one
+//     core — the structs-of-arrays FlowTable + batched epochs exist to
+//     make this cheap;
+//   * `metrics_digest` (FNV-1a over the full FleetMetrics JSON) and the
+//     per-tenant flow counts are deterministic and must reproduce
+//     exactly between runs; `wall_s` / `kflows_per_s` carry the usual
+//     tolerance band, gated on hardware_concurrency.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_json.h"
+#include "vsim/fleet.h"
+#include "vsim/topology.h"
+
+namespace {
+
+using strato::bench::appendf;
+using strato::common::SimTime;
+using strato::vsim::BgTrafficConfig;
+using strato::vsim::FleetConfig;
+using strato::vsim::FleetEngine;
+using strato::vsim::FleetMetrics;
+using strato::vsim::ShareMode;
+using strato::vsim::TenantPolicy;
+using strato::vsim::TenantSpec;
+using strato::vsim::Topology;
+
+constexpr double kWallBudgetS = 60.0;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+TenantSpec transfer_tenant(const char* name, double weight,
+                           TenantPolicy policy,
+                           std::array<double, 3> mix) {
+  TenantSpec t;
+  t.name = name;
+  t.weight = weight;
+  t.share = ShareMode::kPerTenant;
+  t.policy = policy;
+  t.arrival_per_s = 41.0;       // ~24.5k flows across the 600 s horizon
+  t.flow_limit = 24'500;
+  t.max_in_flight = 1500;       // admission cap bounds the active set
+  t.mean_flow_bytes = 16ull << 20;
+  t.min_flow_bytes = 1ull << 20;
+  t.class_mix = mix;
+  t.wan_fraction = 0.5;
+  return t;
+}
+
+FleetConfig fleet_100k() {
+  FleetConfig cfg;
+  cfg.topology = Topology::rack_spine_wan(Topology::FleetShape{});
+  cfg.seed = 424242;
+  cfg.horizon = SimTime::seconds(600);
+  cfg.expected_flows = 100'000;
+
+  // Four production tenant classes (2 adaptive, 2 pinned) + background.
+  cfg.tenants.push_back(transfer_tenant(
+      "analytics", 2.0, TenantPolicy::dynamic(), {1.0, 0.0, 0.0}));
+  cfg.tenants.push_back(transfer_tenant(
+      "web-logs", 1.0, TenantPolicy::dynamic(), {0.2, 0.6, 0.2}));
+  cfg.tenants.push_back(transfer_tenant(
+      "backup", 1.0, TenantPolicy::fixed(1), {0.5, 0.5, 0.0}));
+  cfg.tenants.push_back(transfer_tenant(
+      "media", 1.0, TenantPolicy::fixed(0), {0.0, 0.0, 1.0}));
+
+  BgTrafficConfig bg;
+  bg.arrival_per_s = 4.0;
+  bg.mean_holding_s = 30.0;
+  bg.initial_flows = 64;
+  bg.max_flows = 512;
+  TenantSpec bgt = strato::vsim::background_tenant(bg);
+  bgt.flow_limit = 2'000;
+  cfg.tenants.push_back(bgt);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FleetConfig cfg = fleet_100k();
+  FleetEngine engine(cfg);
+
+  const auto start = std::chrono::steady_clock::now();
+  const FleetMetrics m = engine.run();
+  const auto end = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(end - start).count();
+  const std::string metrics_json = m.to_json();
+
+  std::string json;
+  appendf(json, "{\n  \"bench\": \"fleet_scale\",\n");
+  appendf(json, "  \"seed\": %llu,\n",
+          static_cast<unsigned long long>(cfg.seed));
+  appendf(json, "  \"epoch_ms\": %.0f,\n", cfg.epoch.to_seconds() * 1e3);
+  appendf(json, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  appendf(json, "  \"flows_total\": %llu,\n",
+          static_cast<unsigned long long>(m.flows_total));
+  appendf(json, "  \"flows_completed\": %llu,\n",
+          static_cast<unsigned long long>(m.flows_completed));
+  appendf(json, "  \"epochs\": %llu,\n",
+          static_cast<unsigned long long>(m.epochs));
+  appendf(json, "  \"sim_completed_s\": %.3f,\n", m.sim_completed_s);
+  appendf(json, "  \"p50_s\": %.6f,\n", m.completion_all_s.quantile(0.5));
+  appendf(json, "  \"p99_s\": %.6f,\n", m.completion_all_s.quantile(0.99));
+  appendf(json, "  \"p999_s\": %.6f,\n", m.completion_all_s.quantile(0.999));
+  appendf(json, "  \"metrics_digest\": \"%016llx\",\n",
+          static_cast<unsigned long long>(fnv1a(metrics_json)));
+  appendf(json, "  \"wall_s\": %.3f,\n", wall_s);
+  appendf(json, "  \"kflows_per_s\": %.1f,\n",
+          static_cast<double>(m.flows_completed) / 1e3 /
+              (wall_s > 0.0 ? wall_s : 1.0));
+  appendf(json, "  \"results\": [\n");
+  for (std::size_t t = 0; t < m.tenants.size(); ++t) {
+    const auto& tm = m.tenants[t];
+    appendf(json,
+            "    {\"name\": \"%s\", \"spawned\": %llu, \"admitted\": %llu, "
+            "\"rejected\": %llu, \"completed\": %llu, \"p99_s\": %.6f}%s\n",
+            tm.name.c_str(), static_cast<unsigned long long>(tm.spawned),
+            static_cast<unsigned long long>(tm.admitted),
+            static_cast<unsigned long long>(tm.rejected),
+            static_cast<unsigned long long>(tm.completed),
+            tm.completion_s.quantile(0.99),
+            t + 1 < m.tenants.size() ? "," : "");
+  }
+  appendf(json, "  ]\n}\n");
+
+  if (wall_s > kWallBudgetS) {
+    std::fprintf(stderr,
+                 "fleet_scale: wall %.1f s exceeds the %.0f s budget\n",
+                 wall_s, kWallBudgetS);
+    strato::bench::write_output(json, argc, argv);
+    return 1;
+  }
+  return strato::bench::write_output(json, argc, argv);
+}

@@ -24,6 +24,10 @@ TESTS=(
   verify_chaos_test
   property_test
   fault_injection_test
+  # ctest -L fleet slice: SoA column indexing under ASan guards against
+  # any phase/id bookkeeping bug turning into out-of-bounds column reads.
+  vsim_event_queue_test
+  vsim_fleet_test
 )
 
 cmake -B "$BUILD_DIR" -S . \

@@ -40,7 +40,8 @@ trap 'rm -rf "$TMP"' EXIT
 
 status=0
 for pair in "bench_pipeline_scaling:BENCH_pipeline.json" \
-            "bench_decode_scaling:BENCH_decode.json"; do
+            "bench_decode_scaling:BENCH_decode.json" \
+            "bench_fleet_scale:BENCH_fleet.json"; do
   bench="${pair%%:*}"
   committed="${pair##*:}"
   bin="$BUILD/bench/$bench"
@@ -73,11 +74,36 @@ with open(committed_path) as f:
 with open(fresh_path) as f:
     cur = json.load(f)
 
-DETERMINISTIC_TOP = ["bench", "block_size", "corpus_seed", "total_mib",
-                     "identity_check"]
-# Result rows are keyed by their deterministic identity columns.
-KEY_COLS = ["corpus", "level", "workers"]
-DETERMINISTIC_COLS = ["blocks", "ratio"]
+# Per-bench comparison schema, selected by the JSON's "bench" field:
+#   top      top-level fields that must match exactly
+#   key      columns identifying a result row
+#   det      row columns that must match exactly
+#   timing   higher-is-better throughput column under the tolerance band
+#   speedup_floor  assert best speedup_vs_1 at 4 workers (scaling benches)
+SCHEMAS = {
+    "fleet_scale": {
+        "top": ["bench", "seed", "epoch_ms", "flows_total",
+                "flows_completed", "epochs", "sim_completed_s", "p50_s",
+                "p99_s", "p999_s", "metrics_digest"],
+        "key": ["name"],
+        "det": ["spawned", "admitted", "rejected", "completed", "p99_s"],
+        "timing": "kflows_per_s",
+        "speedup_floor": False,
+    },
+}
+DEFAULT_SCHEMA = {
+    "top": ["bench", "block_size", "corpus_seed", "total_mib",
+            "identity_check"],
+    "key": ["corpus", "level", "workers"],
+    "det": ["blocks", "ratio"],
+    "timing": "mib_per_s",
+    "speedup_floor": True,
+}
+schema = SCHEMAS.get(base.get("bench"), DEFAULT_SCHEMA)
+DETERMINISTIC_TOP = schema["top"]
+KEY_COLS = schema["key"]
+DETERMINISTIC_COLS = schema["det"]
+TIMING_COL = schema["timing"]
 
 failures = []
 for k in DETERMINISTIC_TOP:
@@ -106,18 +132,28 @@ for k in sorted(set(base_rows) & set(cur_rows)):
         if b.get(col) != c.get(col):
             failures.append(f"{k} {col}: committed {b.get(col)!r} != "
                             f"fresh {c.get(col)!r}")
-    if same_hw and b.get("mib_per_s", 0) > 0:
-        rel = c["mib_per_s"] / b["mib_per_s"] - 1.0
+    if same_hw and b.get(TIMING_COL, 0) and b[TIMING_COL] > 0 \
+            and c.get(TIMING_COL) is not None:
+        rel = c[TIMING_COL] / b[TIMING_COL] - 1.0
         if rel < -tol:
-            regressions.append(f"{k}: {b['mib_per_s']:.1f} -> "
-                               f"{c['mib_per_s']:.1f} MiB/s ({rel:+.0%})")
+            regressions.append(f"{k}: {TIMING_COL} {b[TIMING_COL]:.1f} -> "
+                               f"{c[TIMING_COL]:.1f} ({rel:+.0%})")
         elif rel > tol:
             print(f"note: {k} improved {rel:+.0%} — consider --update")
+
+# Fleet rows carry no per-row timing column; band the top-level
+# throughput figure instead.
+if same_hw and TIMING_COL in base and TIMING_COL in cur \
+        and base[TIMING_COL] > 0:
+    rel = cur[TIMING_COL] / base[TIMING_COL] - 1.0
+    if rel < -tol:
+        regressions.append(f"top-level {TIMING_COL} {base[TIMING_COL]:.1f} "
+                           f"-> {cur[TIMING_COL]:.1f} ({rel:+.0%})")
 
 # Acceptance floor: only assertable with real parallel hardware, and on
 # the bench's best 4-worker configuration — the codec-bound rung; the
 # fast rungs can legitimately be bound by the feeding thread.
-if cur.get("hardware_concurrency", 0) >= 4:
+if schema["speedup_floor"] and cur.get("hardware_concurrency", 0) >= 4:
     at4 = [r.get("speedup_vs_1", 0) for r in cur_rows.values()
            if r.get("workers") == 4]
     if at4 and max(at4) < 2.0:

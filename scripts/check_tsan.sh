@@ -22,6 +22,10 @@ TESTS=(
   dataflow_channel_test
   verify_oracle_test
   verify_chaos_test
+  # ctest -L fleet slice: single-threaded by design, but the fleet engine
+  # shares codecs/stats with concurrent layers — keep it sanitizer-clean.
+  vsim_event_queue_test
+  vsim_fleet_test
 )
 
 cmake -B "$BUILD_DIR" -S . \

@@ -21,6 +21,12 @@ into every presubmit script (check_static.sh runs this first):
   nodiscard        status-returning APIs (bool try_*(), std::optional<T>
                    returners) must be [[nodiscard]] — dropping a failed
                    try_push is exactly how metrics silently lie.
+  fleet-alloc      the fleet engine's hot loop (src/vsim/flow_table.*,
+                   src/vsim/fleet.*, src/vsim/topology.*) is structs-of-
+                   arrays by design: flows are indices into column
+                   vectors, never heap objects. Literal `new`,
+                   std::make_unique and std::make_shared are banned in
+                   those files — growth happens only through the columns.
   copy             src/compress/framing.* is the zero-copy receive path:
                    payload bytes must flow as spans over pooled buffers,
                    so memcpy/memmove, std::copy and container
@@ -73,6 +79,9 @@ WALLCLOCK_DIRS = ("vsim/", "verify/")
 # The zero-copy framing layer: every payload byte copy needs allow(copy).
 COPY_BANNED_PREFIX = "compress/framing."
 
+# The fleet hot loop: per-flow heap allocation is banned (SoA columns only).
+FLEET_ALLOC_PREFIXES = ("vsim/flow_table.", "vsim/fleet.", "vsim/topology.")
+
 RULES = {
     "wallclock": [
         (re.compile(r"system_clock"), "std::chrono::system_clock"),
@@ -99,6 +108,12 @@ RULES = {
          "std::copy on the zero-copy framing path"),
         (re.compile(r"\.\s*(insert|assign)\s*\("),
          "container insert/assign (byte copy) on the framing path"),
+    ],
+    "fleet-alloc": [
+        (re.compile(r"(?<![A-Za-z0-9_])new\b"),
+         "heap allocation (new) in the fleet hot loop"),
+        (re.compile(r"std::make_(unique|shared)\b"),
+         "heap allocation (make_unique/make_shared) in the fleet hot loop"),
     ],
     "using-namespace": [
         (re.compile(r"\busing\s+namespace\s+std\b"), "using namespace std"),
@@ -222,6 +237,8 @@ def lint_file(path: Path, rel: str):
             check("stdout", RULES["stdout"])
         if rel.startswith(COPY_BANNED_PREFIX):
             check("copy", RULES["copy"])
+        if rel.startswith(FLEET_ALLOC_PREFIXES):
+            check("fleet-alloc", RULES["fleet-alloc"])
         check("using-namespace", RULES["using-namespace"])
         check("include-path", RULES["include-path"])
 
@@ -262,6 +279,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("core/bad_header.h", "using-namespace"): 1,
     ("core/bad_header.h", "include-path"): 1,
     ("compress/framing.cc", "copy"): 4,
+    ("vsim/fleet.cc", "fleet-alloc"): 3,
 }
 
 

@@ -63,6 +63,11 @@ FiveNumber Sample::five_number() const {
   return f;
 }
 
+void Sample::merge(const Sample& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_valid_ = false;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
 
@@ -76,6 +81,18 @@ void Histogram::add(double x) {
   }
   ++counts_[i];
   ++total_;
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return true;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

@@ -84,6 +84,10 @@ class Sample {
   /// Boxplot statistics with 1.5*IQR outlier count.
   [[nodiscard]] FiveNumber five_number() const;
 
+  /// Absorb all of `other`'s observations (fleet: per-tenant samples fold
+  /// into the all-tenant aggregate).
+  void merge(const Sample& other);
+
  private:
   // Sorted lazily; mutable cache keeps quantile calls cheap.
   mutable std::vector<double> sorted_;
@@ -109,6 +113,15 @@ class Histogram {
 
   /// Render a compact ASCII bar chart (for bench output).
   [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+  /// Add `other`'s counts bucket-by-bucket. Requires identical layout
+  /// (same lo, hi, bucket count) — per-tenant goodput histograms share
+  /// one layout exactly so they stay mergeable. @returns false (and
+  /// leaves *this untouched) on a layout mismatch.
+  [[nodiscard]] bool merge(const Histogram& other);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
 
  private:
   double lo_, hi_;

@@ -5,87 +5,98 @@
 
 namespace strato::core {
 
-AdaptiveController::AdaptiveController(AdaptiveConfig config)
-    : config_(config) {
-  if (config_.num_levels < 1) config_.num_levels = 1;
-  reset();
-}
+namespace {
 
-void AdaptiveController::reset() {
-  ccl_ = 0;
-  c_ = 0;
-  inc_ = true;
-  bck_.assign(static_cast<std::size_t>(config_.num_levels), 0);
-  pdr_ = -1.0;
-}
-
-int AdaptiveController::clamp_probe(int ncl) const {
-  // The paper leaves boundary behaviour implicit; we flip the probe
-  // direction at the ends of the ladder so probing never stalls (DESIGN.md
-  // §5.3). With a single level there is nowhere to go.
-  if (config_.num_levels == 1) return 0;
+/// The paper leaves boundary behaviour implicit; we flip the probe
+/// direction at the ends of the ladder so probing never stalls (DESIGN.md
+/// §5.3). With a single level there is nowhere to go.
+int clamp_probe(const AdaptiveConfig& config, int ncl) {
+  if (config.num_levels == 1) return 0;
   if (ncl < 0) return 1;
-  if (ncl >= config_.num_levels) return config_.num_levels - 2;
+  if (ncl >= config.num_levels) return config.num_levels - 2;
   return ncl;
 }
 
-Decision AdaptiveController::on_window(double cdr) {
+}  // namespace
+
+Decision controller_step(const AdaptiveConfig& config, ControllerState& st,
+                         double cdr) {
   // A rate can only be a finite non-negative number; a NaN/inf/negative
   // input (e.g. a zero-length measurement window) must not poison pdr, or
   // every later comparison would silently misfire. Treat it as "rate
   // unchanged".
   if (!std::isfinite(cdr) || cdr < 0.0) {
-    cdr = pdr_ < 0.0 ? 0.0 : pdr_;
+    cdr = st.pdr < 0.0 ? 0.0 : st.pdr;
   }
   // "On the first call of the decision algorithm, pdr is set to cdr."
-  if (pdr_ < 0.0) pdr_ = cdr;
+  if (st.pdr < 0.0) st.pdr = cdr;
 
-  const double d = cdr - pdr_;       // line 1
-  c_ += 1;                           // line 2
-  int ncl = ccl_;                    // line 3
+  const int ccl = st.ccl;
+  const double d = cdr - st.pdr;     // line 1
+  st.c += 1;                         // line 2
+  int ncl = ccl;                     // line 3
   Decision dec;
 
-  if (std::fabs(d) <= config_.alpha * pdr_) {
+  if (std::fabs(d) <= config.alpha * st.pdr) {
     // Lines 4-14: no (significant) change in application data rate.
     const std::int64_t threshold =
-        config_.backoff_enabled
-            ? (std::int64_t{1} << std::min(bck_[static_cast<std::size_t>(ccl_)],
-                                           config_.max_backoff_exponent))
+        config.backoff_enabled
+            ? (std::int64_t{1} << std::min<int>(st.bck[ccl],
+                                                config.max_backoff_exponent))
             : 1;
-    if (c_ >= threshold) {
+    if (st.c >= threshold) {
       // Backoff over: optimistically try the neighbouring level.
-      ncl = clamp_probe(inc_ ? ccl_ + 1 : ccl_ - 1);
-      c_ = 0;
-      dec.probed = ncl != ccl_;
+      ncl = clamp_probe(config, st.inc ? ccl + 1 : ccl - 1);
+      st.c = 0;
+      dec.probed = ncl != ccl;
     }
   } else if (d > 0) {
     // Lines 15-18: the application data rate improved. Reward the current
     // level with a longer backoff; stay.
-    if (config_.backoff_enabled) {
-      auto& b = bck_[static_cast<std::size_t>(ccl_)];
-      b = std::min(b + 1, config_.max_backoff_exponent);
+    if (config.backoff_enabled) {
+      st.bck[ccl] = static_cast<std::int8_t>(
+          std::min<int>(st.bck[ccl] + 1, config.max_backoff_exponent));
     }
-    c_ = 0;
+    st.c = 0;
   } else {
     // Lines 19-27: degradation. Reset this level's backoff and revert the
     // last change immediately.
-    bck_[static_cast<std::size_t>(ccl_)] = 0;
-    ncl = std::clamp(inc_ ? ccl_ - 1 : ccl_ + 1, 0, config_.num_levels - 1);
-    c_ = 0;
-    dec.reverted = ncl != ccl_;
+    st.bck[ccl] = 0;
+    ncl = std::clamp(st.inc ? ccl - 1 : ccl + 1, 0, config.num_levels - 1);
+    st.c = 0;
+    dec.reverted = ncl != ccl;
   }
 
   // "inc is usually updated outside of the displayed algorithm depending
   // on the input parameter ccl and the return value ncl."
-  if (ncl > ccl_) {
-    inc_ = true;
-  } else if (ncl < ccl_) {
-    inc_ = false;
+  if (ncl > ccl) {
+    st.inc = true;
+  } else if (ncl < ccl) {
+    st.inc = false;
   }
-  pdr_ = cdr;
-  ccl_ = ncl;
+  st.pdr = cdr;
+  st.ccl = static_cast<std::int8_t>(ncl);
   dec.level = ncl;
   return dec;
+}
+
+AdaptiveController::AdaptiveController(AdaptiveConfig config)
+    : config_(config) {
+  if (config_.num_levels < 1) config_.num_levels = 1;
+  if (config_.num_levels > kMaxControllerLevels) {
+    config_.num_levels = kMaxControllerLevels;
+  }
+  reset();
+}
+
+void AdaptiveController::reset() { st_ = ControllerState{}; }
+
+int AdaptiveController::backoff(int level) const {
+  return level >= 0 && level < config_.num_levels ? st_.bck[level] : 0;
+}
+
+Decision AdaptiveController::on_window(double cdr) {
+  return controller_step(config_, st_, cdr);
 }
 
 }  // namespace strato::core

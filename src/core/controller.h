@@ -24,8 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
 namespace strato::core {
 
@@ -51,6 +49,34 @@ struct Decision {
   bool reverted = false;///< this step reverted a degradation
 };
 
+/// Ladder sizes the POD controller state can represent. Every ladder in
+/// the repository (standard 4, extended 5, test ladders up to 6) fits
+/// with room to spare; AdaptiveController clamps num_levels to this.
+inline constexpr int kMaxControllerLevels = 16;
+
+/// The complete Algorithm 1 state as plain old data — 40 bytes, no heap.
+///
+/// The fleet simulator (vsim::FlowTable) embeds one of these per flow in
+/// a structs-of-arrays store, so a million controllers are a million
+/// array slots rather than a million heap objects. AdaptiveController is
+/// a thin wrapper over the same state and the same step function; the
+/// two cannot diverge.
+struct ControllerState {
+  std::int64_t c = 0;    ///< windows since the last level change
+  double pdr = -1.0;     ///< previous-window rate; <0 = none seen yet
+  std::int8_t ccl = 0;   ///< current compression level
+  bool inc = true;       ///< last change direction was an increase
+  /// Per-level exponential-backoff exponents (bck). Capped at
+  /// max_backoff_exponent <= 30, so int8 storage is exact.
+  std::int8_t bck[kMaxControllerLevels] = {};
+};
+
+/// One decision step of Algorithm 1 over externally-held state. Exactly
+/// the body AdaptiveController::on_window runs; see the class comment for
+/// semantics. `config.num_levels` must be in [1, kMaxControllerLevels].
+Decision controller_step(const AdaptiveConfig& config, ControllerState& st,
+                         double cdr);
+
 /// The adaptive controller. Call on_window() once per decision interval t
 /// with the application data rate observed during that interval.
 class AdaptiveController {
@@ -66,27 +92,23 @@ class AdaptiveController {
   Decision on_window(double cdr);
 
   /// Current compression level (ccl).
-  [[nodiscard]] int level() const { return ccl_; }
+  [[nodiscard]] int level() const { return st_.ccl; }
   /// Probe direction: true if the last level change was an increase.
-  [[nodiscard]] bool increasing() const { return inc_; }
+  [[nodiscard]] bool increasing() const { return st_.inc; }
   /// Backoff exponent of a level (bck[level]).
-  [[nodiscard]] int backoff(int level) const { return bck_.at(level); }
+  [[nodiscard]] int backoff(int level) const;
   /// Windows since the last level change (c).
-  [[nodiscard]] std::int64_t window_count() const { return c_; }
+  [[nodiscard]] std::int64_t window_count() const { return st_.c; }
   [[nodiscard]] const AdaptiveConfig& config() const { return config_; }
+  /// The embedded POD state (read-only snapshot).
+  [[nodiscard]] const ControllerState& state() const { return st_; }
 
   /// Reset to the initial state (level 0, all backoffs 0, inc = true).
   void reset();
 
  private:
-  [[nodiscard]] int clamp_probe(int ncl) const;
-
   AdaptiveConfig config_;
-  int ccl_ = 0;
-  std::int64_t c_ = 0;
-  bool inc_ = true;
-  std::vector<int> bck_;
-  double pdr_ = -1.0;  // <0 = no window seen yet
+  ControllerState st_;
 };
 
 }  // namespace strato::core

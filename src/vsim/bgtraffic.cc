@@ -18,6 +18,9 @@ BgTrafficProcess::BgTrafficProcess(BgTrafficConfig config,
 }
 
 void BgTrafficProcess::schedule_next_arrival() {
+  // Kept as a division (not exponential_interval_s with mean 1/rate):
+  // the two round differently in the last ulp and this process's seeded
+  // sequences are pinned by determinism tests.
   const double gap =
       -std::log(std::max(1e-12, rng_.uniform())) / config_.arrival_per_s;
   next_arrival_ = now_ + SimTime::seconds(gap);
@@ -45,8 +48,8 @@ int BgTrafficProcess::flows_at(SimTime now) {
     if (next_event == next_arrival_) {
       if (flows_ < config_.max_flows) {
         ++flows_;
-        const double hold = -std::log(std::max(1e-12, rng_.uniform())) *
-                            config_.mean_holding_s;
+        const double hold =
+            exponential_interval_s(rng_, config_.mean_holding_s);
         departures_.push_back(next_event + SimTime::seconds(hold));
       }
       const SimTime saved = now_;

@@ -8,6 +8,8 @@
 // changing contention — the scenario the paper's introduction motivates.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -16,6 +18,15 @@
 #include "common/sim_time.h"
 
 namespace strato::vsim {
+
+/// Exponential holding/inter-arrival draw with the given mean, floored
+/// away from log(0). Shared by BgTrafficProcess and the fleet engine's
+/// per-tenant Poisson arrival processes so "background traffic" and
+/// "tenant arrivals" are one mechanism.
+inline double exponential_interval_s(common::Xoshiro256& rng,
+                                     double mean_s) {
+  return -std::log(std::max(1e-12, rng.uniform())) * mean_s;
+}
 
 /// Configuration of the background-flow process.
 struct BgTrafficConfig {

@@ -19,8 +19,13 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedule `fn` at absolute time `at` (>= now()).
+  /// Schedule `fn` at absolute time `at` (>= now()). A past-time `at` is
+  /// clamped to now(): accepting it verbatim would make now_ jump
+  /// backward in step(), and every lazily-advancing process keyed on
+  /// non-decreasing time (FluctuationProcess, BgTrafficProcess) would
+  /// silently misbehave.
   void schedule(common::SimTime at, Callback fn) {
+    if (at < now_) at = now_;
     events_.push(Event{at, seq_++, std::move(fn)});
   }
 
@@ -46,6 +51,16 @@ class EventQueue {
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
     std::uint64_t n = 0;
     while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  /// Run every event with `at <= horizon`, leaving later events queued
+  /// and now() unchanged past the last fired event — advance the
+  /// calendar in bounded virtual-time slices without draining it.
+  /// @returns number of events processed.
+  std::uint64_t run_until(common::SimTime horizon) {
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.top().at <= horizon && step()) ++n;
     return n;
   }
 

@@ -1,0 +1,153 @@
+#include "vsim/topology.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace strato::vsim {
+
+Topology::LinkId Topology::add_link(LinkSpec spec) {
+  links_.push_back(std::move(spec));
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+Topology::PathId Topology::add_path(std::vector<LinkId> links) {
+  paths_.push_back(std::move(links));
+  return static_cast<PathId>(paths_.size() - 1);
+}
+
+Topology Topology::single(const VirtProfile& prof) {
+  Topology t;
+  const LinkId nic = t.add_link(
+      LinkSpec{"nic", prof.net_bytes_s, prof.net_fluct});
+  t.add_path({nic});
+  t.hosts_ = 1;
+  return t;
+}
+
+Topology Topology::rack_spine_wan(const FleetShape& shape) {
+  Topology t;
+  const int racks = std::max(1, shape.racks);
+  const int hosts = std::max(1, shape.hosts_per_rack);
+  t.hosts_ = static_cast<std::size_t>(racks) * hosts;
+
+  std::vector<LinkId> nic_ids;
+  nic_ids.reserve(t.hosts_);
+  std::vector<LinkId> rack_ids;
+  rack_ids.reserve(static_cast<std::size_t>(racks));
+  for (int r = 0; r < racks; ++r) {
+    for (int h = 0; h < hosts; ++h) {
+      nic_ids.push_back(t.add_link(LinkSpec{
+          "host" + std::to_string(r * hosts + h) + ".nic",
+          shape.host_nic_bytes_s, shape.nic_fluct}));
+    }
+  }
+  for (int r = 0; r < racks; ++r) {
+    rack_ids.push_back(t.add_link(LinkSpec{
+        "rack" + std::to_string(r) + ".up", shape.rack_uplink_bytes_s,
+        shape.fabric_fluct}));
+  }
+  const LinkId spine =
+      t.add_link(LinkSpec{"spine", shape.spine_bytes_s, shape.fabric_fluct});
+  const LinkId wan =
+      t.add_link(LinkSpec{"wan", shape.wan_bytes_s, shape.fabric_fluct});
+
+  // Per host: intra_path = 2h, wan_path = 2h + 1 (see header).
+  for (std::size_t host = 0; host < t.hosts_; ++host) {
+    const LinkId rack = rack_ids[host / static_cast<std::size_t>(hosts)];
+    t.add_path({nic_ids[host], rack, spine});
+    t.add_path({nic_ids[host], rack, spine, wan});
+  }
+  return t;
+}
+
+LinkBank::LinkBank(const Topology& topo, std::uint64_t seed) : topo_(&topo) {
+  fluct_.reserve(topo.link_count());
+  chaos_.resize(topo.link_count());
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    // Link 0 keeps the caller's seed verbatim (degenerate == SharedLink);
+    // later links decorrelate with an odd multiplier stream.
+    fluct_.emplace_back(topo.link(static_cast<Topology::LinkId>(i)).fluct,
+                        seed ^ (0x9E3779B97F4A7C15ULL * i));
+  }
+}
+
+double LinkBank::capacity(Topology::LinkId id, common::SimTime now) {
+  double cap = topo_->link(id).capacity_bytes_s * fluct_[id].factor(now);
+  if (!chaos_[id].empty()) {
+    cap *= chaos_[id].capacity_factor(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, now.nanos())));
+  }
+  return cap;
+}
+
+void LinkBank::capacities(common::SimTime now, std::vector<double>& out) {
+  out.resize(topo_->link_count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = capacity(static_cast<Topology::LinkId>(i), now);
+  }
+}
+
+void LinkBank::set_chaos(Topology::LinkId id,
+                         common::ChaosSchedule schedule) {
+  chaos_[id] = std::move(schedule);
+}
+
+MaxMinAllocator::MaxMinAllocator(const Topology& topo) : topo_(&topo) {
+  cap_rem_.resize(topo.link_count());
+  wsum_.resize(topo.link_count());
+  link_flows_.resize(topo.link_count());
+}
+
+void MaxMinAllocator::allocate(const std::vector<double>& link_capacity,
+                               const std::vector<std::uint32_t>& flow_path,
+                               const std::vector<double>& flow_weight,
+                               const std::vector<std::uint32_t>& active,
+                               std::vector<double>& rate_out) {
+  const std::size_t links = topo_->link_count();
+  cap_rem_.assign(link_capacity.begin(), link_capacity.end());
+  wsum_.assign(links, 0.0);
+  for (auto& lf : link_flows_) lf.clear();
+  if (frozen_.size() < flow_path.size()) frozen_.resize(flow_path.size());
+
+  for (const std::uint32_t f : active) {
+    frozen_[f] = 0;
+    const double w = flow_weight[f];
+    for (const auto l : topo_->path(flow_path[f])) {
+      wsum_[l] += w;
+      link_flows_[l].push_back(f);
+    }
+  }
+
+  // Progressive filling: repeatedly saturate the most-constrained link
+  // (smallest capacity per unit weight), freeze its flows at their share,
+  // release their weight everywhere else. Each flow freezes exactly once,
+  // so the whole allocation is O(sum of path lengths + links^2).
+  std::size_t remaining = active.size();
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best = links;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (wsum_[l] <= 1e-12) continue;
+      const double share = std::max(0.0, cap_rem_[l]) / wsum_[l];
+      if (share < best_share) {
+        best_share = share;
+        best = l;
+      }
+    }
+    if (best == links) break;  // defensive: every flow crosses >= 1 link
+    for (const std::uint32_t f : link_flows_[best]) {
+      if (frozen_[f]) continue;
+      const double r = flow_weight[f] * best_share;
+      rate_out[f] = r;
+      frozen_[f] = 1;
+      --remaining;
+      for (const auto l : topo_->path(flow_path[f])) {
+        cap_rem_[l] -= r;
+        wsum_[l] -= flow_weight[f];
+      }
+    }
+    wsum_[best] = 0.0;  // clear numeric residue
+  }
+}
+
+}  // namespace strato::vsim

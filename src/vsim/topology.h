@@ -1,0 +1,157 @@
+// Hierarchical link topology for the fleet simulator.
+//
+// The paper evaluates one foreground transfer on a single shared NIC
+// (SharedLink). A fleet serves thousands of concurrent flows crossing a
+// datacenter fabric: host NIC -> rack uplink -> spine -> WAN egress. This
+// module models that fabric as
+//
+//   * a static Topology: links (capacity + fluctuation shape) and paths
+//     (ordered link-id lists flows are pinned to);
+//   * a LinkBank: per-link runtime state — one FluctuationProcess per
+//     link (the paper's Fig. 2 capacity wobble, reused unchanged) plus an
+//     optional chaos schedule;
+//   * a MaxMinAllocator: weighted max-min fair shares across the whole
+//     fabric via progressive filling, the multi-link generalization of
+//     SharedLink's fg_rate = capacity / (1 + w_bg * k) formula. On the
+//     degenerate single-link topology with one weight-1 foreground flow
+//     and k weight-w_bg background flows it reproduces exactly that
+//     expression, so the Table II calibration carries over untouched.
+//
+// Everything here is deterministic per seed and allocation-free on the
+// hot path: the allocator reuses internal scratch between epochs (the
+// fleet-alloc lint rule bans per-flow heap allocation in this layer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/chaos.h"
+#include "common/sim_time.h"
+#include "vsim/link.h"
+#include "vsim/profile.h"
+
+namespace strato::vsim {
+
+/// One physical link of the fabric.
+struct LinkSpec {
+  std::string name;                 ///< "host3.nic", "rack0.up", "spine"...
+  double capacity_bytes_s = 117e6;  ///< nominal capacity
+  FluctuationParams fluct;          ///< Fig. 2 style capacity wobble
+};
+
+/// Static fabric shape: links and the paths flows can be pinned to.
+class Topology {
+ public:
+  using LinkId = std::uint32_t;
+  using PathId = std::uint32_t;
+
+  /// Add a link; returns its id.
+  LinkId add_link(LinkSpec spec);
+  /// Add a path (ordered link ids, all previously added); returns its id.
+  PathId add_path(std::vector<LinkId> links);
+
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] const LinkSpec& link(LinkId id) const { return links_[id]; }
+  [[nodiscard]] const std::vector<LinkId>& path(PathId id) const {
+    return paths_[id];
+  }
+  [[nodiscard]] std::size_t host_count() const { return hosts_; }
+
+  /// Path of host `h` staying inside the datacenter (nic -> rack ->
+  /// spine). Valid for rack_spine_wan() topologies.
+  [[nodiscard]] PathId intra_path(std::size_t host) const {
+    return static_cast<PathId>(2 * host);
+  }
+  /// Path of host `h` leaving through the WAN egress.
+  [[nodiscard]] PathId wan_path(std::size_t host) const {
+    return static_cast<PathId>(2 * host + 1);
+  }
+
+  /// Degenerate topology: exactly the paper's single shared NIC — one
+  /// link with the profile's capacity and fluctuation shape, one path
+  /// over it. SharedLink is this topology with the weighted share
+  /// evaluated in closed form.
+  static Topology single(const VirtProfile& prof);
+
+  /// Fleet fabric shape and capacities.
+  struct FleetShape {
+    int racks = 8;
+    int hosts_per_rack = 16;
+    double host_nic_bytes_s = 117e6;
+    /// Rack uplink: oversubscribed vs sum of member NICs (production
+    /// fabrics run 3:1 .. 8:1).
+    double rack_uplink_bytes_s = 4 * 117e6;
+    double spine_bytes_s = 16 * 117e6;
+    double wan_bytes_s = 8 * 117e6;
+    FluctuationParams nic_fluct;    ///< default: gentle Gaussian wobble
+    FluctuationParams fabric_fluct; ///< rack/spine/wan links
+  };
+
+  /// Build a rack -> spine -> WAN fabric: one NIC link per host, one
+  /// uplink per rack, one spine, one WAN egress. Per host two paths:
+  /// intra_path(h) = [nic, rack, spine], wan_path(h) = [nic, rack,
+  /// spine, wan].
+  static Topology rack_spine_wan(const FleetShape& shape);
+
+ private:
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<LinkId>> paths_;
+  std::size_t hosts_ = 0;
+};
+
+/// Runtime state of every link: fluctuating capacity + chaos, advanced
+/// lazily in virtual time (queries per link must be non-decreasing).
+class LinkBank {
+ public:
+  /// Per-link FluctuationProcess seeded from `seed`; link 0 uses `seed`
+  /// verbatim so the degenerate topology replays SharedLink's exact
+  /// capacity series for the same seed.
+  LinkBank(const Topology& topo, std::uint64_t seed);
+
+  /// Capacity of link `id` at virtual time `now` (bytes/second).
+  double capacity(Topology::LinkId id, common::SimTime now);
+
+  /// Fill `out[id]` with every link's capacity at `now` (epoch batch).
+  void capacities(common::SimTime now, std::vector<double>& out);
+
+  /// Install a scripted outage schedule on one link (verify harness).
+  void set_chaos(Topology::LinkId id, common::ChaosSchedule schedule);
+
+ private:
+  const Topology* topo_;
+  std::vector<FluctuationProcess> fluct_;
+  std::vector<common::ChaosSchedule> chaos_;
+};
+
+/// Weighted max-min fair allocation over a Topology via progressive
+/// filling. All scratch state is reused between calls — after warm-up an
+/// allocate() performs no heap allocation.
+class MaxMinAllocator {
+ public:
+  explicit MaxMinAllocator(const Topology& topo);
+
+  /// Compute each active flow's wire rate.
+  ///
+  /// @param link_capacity   capacity per link id (LinkBank::capacities)
+  /// @param flow_path       path id per flow (full table, indexed by id)
+  /// @param flow_weight     share weight per flow (full table)
+  /// @param active          ids of flows competing for capacity
+  /// @param rate_out        per-flow result; only active ids are written
+  void allocate(const std::vector<double>& link_capacity,
+                const std::vector<std::uint32_t>& flow_path,
+                const std::vector<double>& flow_weight,
+                const std::vector<std::uint32_t>& active,
+                std::vector<double>& rate_out);
+
+ private:
+  const Topology* topo_;
+  // Reusable scratch (see class comment).
+  std::vector<double> cap_rem_;
+  std::vector<double> wsum_;
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+  std::vector<std::uint8_t> frozen_;
+};
+
+}  // namespace strato::vsim

@@ -33,11 +33,13 @@ struct Buckets {
 
 }  // namespace
 
-TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
-  const VirtProfile& prof = profile(config_.tech);
-  SharedLink link(prof, config_.bg_flows, config_.seed);
-  if (!config_.link_chaos.empty()) link.set_chaos(config_.link_chaos);
-  common::Xoshiro256 rng(config_.seed ^ 0x7245F0000000AB01ULL);
+TransferResult run_transfer_blocks(const TransferConfig& config,
+                                   core::CompressionPolicy& policy,
+                                   SimMetricsProvider& metrics) {
+  const VirtProfile& prof = profile(config.tech);
+  SharedLink link(prof, config.bg_flows, config.seed);
+  if (!config.link_chaos.empty()) link.set_chaos(config.link_chaos);
+  common::Xoshiro256 rng(config.seed ^ 0x7245F0000000AB01ULL);
 
   // Host-generation spread (Schad et al., cited in Section V): each run
   // lands on a slightly faster or slower host.
@@ -49,18 +51,18 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
   // as STEAL where the profile says so). With dynamic background traffic
   // the flow count — and with it steal and link share — changes over time.
   std::optional<BgTrafficProcess> bg_process;
-  if (config_.bg_traffic.enabled()) {
-    bg_process.emplace(config_.bg_traffic, config_.seed);
+  if (config.bg_traffic.enabled()) {
+    bg_process.emplace(config.bg_traffic, config.seed);
   }
-  int cur_flows = config_.bg_flows;
+  int cur_flows = config.bg_flows;
   double steal = std::min(0.6, prof.steal_per_colocated_vm * cur_flows);
   double cpu_scale = (1.0 - steal) * host_gen;
 
-  const std::size_t qs = std::max<std::size_t>(1, config_.send_queue_blocks);
-  const std::size_t qr = std::max<std::size_t>(1, config_.recv_queue_blocks);
+  const std::size_t qs = std::max<std::size_t>(1, config.send_queue_blocks);
+  const std::size_t qr = std::max<std::size_t>(1, config.recv_queue_blocks);
   std::vector<SimTime> link_end_ring(qs);
   std::vector<SimTime> decomp_end_ring(qr);
-  const std::size_t kw = std::max<std::size_t>(1, config_.recv_workers);
+  const std::size_t kw = std::max<std::size_t>(1, config.recv_workers);
   std::vector<SimTime> recv_worker_free(kw);
 
   SimTime comp_end_prev, link_end_prev, decomp_end_prev;
@@ -75,19 +77,19 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
 
   std::uint64_t raw_offset = 0;
   std::uint64_t block_index = 0;
-  while (raw_offset < config_.total_bytes) {
+  while (raw_offset < config.total_bytes) {
     const std::uint64_t raw = std::min<std::uint64_t>(
-        config_.block_size, config_.total_bytes - raw_offset);
+        config.block_size, config.total_bytes - raw_offset);
 
     // Which corpus class is the application writing right now? Either a
     // general schedule trace, the Fig. 6 two-phase alternation, or the
     // fixed class.
-    corpus::Compressibility cls = config_.data;
-    if (!config_.schedule.empty()) {
-      cls = corpus::class_at(config_.schedule, raw_offset);
-    } else if (config_.segment_bytes > 0 &&
-               (raw_offset / config_.segment_bytes) % 2 == 1) {
-      cls = config_.data_b;
+    corpus::Compressibility cls = config.data;
+    if (!config.schedule.empty()) {
+      cls = corpus::class_at(config.schedule, raw_offset);
+    } else if (config.segment_bytes > 0 &&
+               (raw_offset / config.segment_bytes) % 2 == 1) {
+      cls = config.data_b;
     }
 
     if (bg_process) {
@@ -102,20 +104,20 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
 
     const int level = std::clamp(policy.level(), 0,
                                  CodecModel::kNumLevels - 1);
-    const LevelBehaviour& beh = config_.model.get(level, cls);
+    const LevelBehaviour& beh = config.model.get(level, cls);
 
     // Real blocks differ slightly; jitter ratio and speed per block.
     const double jr =
-        std::clamp(rng.gaussian(1.0, config_.ratio_jitter), 0.8, 1.2);
+        std::clamp(rng.gaussian(1.0, config.ratio_jitter), 0.8, 1.2);
     const double js =
-        std::clamp(rng.gaussian(1.0, config_.speed_jitter), 0.7, 1.3);
+        std::clamp(rng.gaussian(1.0, config.speed_jitter), 0.7, 1.3);
     const double ratio = std::min(1.0, beh.ratio * jr);
     const double wire =
         static_cast<double>(raw) * ratio + compress::kFrameHeaderSize;
 
     // --- sender CPU stage --------------------------------------------------
     const double comp_speed =
-        beh.compress_bytes_s * config_.codec_speed_factor;
+        beh.compress_bytes_s * config.codec_speed_factor;
     const double comp_cpu_s =
         static_cast<double>(raw) / (comp_speed * js * cpu_scale);
     const double io_cpu_s = wire * io_cpu_s_per_byte;
@@ -141,7 +143,7 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
     const SimTime decomp_start = std::max(link_end, *free_at);
     const double decomp_cpu_s =
         static_cast<double>(raw) /
-            (beh.decompress_bytes_s * config_.codec_speed_factor * js) +
+            (beh.decompress_bytes_s * config.codec_speed_factor * js) +
         wire * io_cpu_s_per_byte;
     const SimTime decomp_finish =
         decomp_start + SimTime::seconds(decomp_cpu_s);
@@ -162,7 +164,7 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
     cpu_vm_total_s += comp_cpu_s + io_cpu_s * prof.net_cpu_visibility;
     cpu_host_total_s += comp_cpu_s + io_cpu_s;
 
-    if (config_.record_timeline) {
+    if (config.record_timeline) {
       const double t = comp_end.to_seconds();
       Buckets::put(buckets.app_bytes, t, static_cast<double>(raw));
       Buckets::put(buckets.wire_bytes, link_end.to_seconds(), wire);
@@ -186,7 +188,7 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
         1.0, (comp_cpu_s + io_cpu_s * prof.net_cpu_visibility) /
                  std::max(1e-9, cpu_time.to_seconds()));
     displayed_busy_ema += 0.05 * (inst_busy - displayed_busy_ema);
-    metrics_.update(displayed_busy_ema, bw_ema);
+    metrics.update(displayed_busy_ema, bw_ema);
 
     // The application handed `raw` bytes to the compression module; this
     // is the data-rate signal the paper's controller runs on.
@@ -204,7 +206,7 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
                             : 0.0);
   res.mean_host_cpu_busy = std::min(1.0, cpu_host_total_s / dur) * (1 + steal);
 
-  if (config_.record_timeline) {
+  if (config.record_timeline) {
     const auto emit = [&](const char* name, const std::vector<double>& v,
                           double scale) {
       for (std::size_t s = 0; s < v.size(); ++s) {
@@ -218,6 +220,10 @@ TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
     emit("cpu_busy_host", buckets.host_busy_s, 100.0);
   }
   return res;
+}
+
+TransferResult TransferExperiment::run(core::CompressionPolicy& policy) {
+  return run_transfer_blocks(config_, policy, metrics_);
 }
 
 RepeatedResult run_repeated(

@@ -116,6 +116,104 @@ TEST(Histogram, DegenerateConstruction) {
   EXPECT_EQ(h.total(), 1u);
 }
 
+// --- fleet-cardinality coverage -------------------------------------------
+// The fleet engine asks for tail quantiles (p999) over >= 100k completion
+// times and folds per-tenant histograms into an all-tenant aggregate;
+// these paths must be exact at that scale.
+
+TEST(Sample, TailQuantilesAtFleetCardinality) {
+  // 0, 1, ..., 199999 — every quantile is known in closed form.
+  Sample s;
+  const int n = 200000;
+  s.reserve(n);
+  for (int i = 0; i < n; ++i) s.add(i);
+  EXPECT_NEAR(s.quantile(0.5), (n - 1) * 0.5, 1e-6);
+  EXPECT_NEAR(s.quantile(0.99), (n - 1) * 0.99, 1e-6);
+  EXPECT_NEAR(s.quantile(0.999), (n - 1) * 0.999, 1e-6);
+  EXPECT_NEAR(s.quantile(0.9999), (n - 1) * 0.9999, 1e-6);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), n - 1);
+  // p999 must sit strictly between p99 and max — a clamped or truncated
+  // index computation collapses them.
+  EXPECT_GT(s.quantile(0.999), s.quantile(0.99));
+  EXPECT_LT(s.quantile(0.999), s.max());
+}
+
+TEST(Sample, P999SeparatesAHeavyTail) {
+  // 100k fast completions plus 200 stragglers: p99 stays in the bulk,
+  // p999 lands in the tail.
+  Sample s;
+  for (int i = 0; i < 100000; ++i) s.add(10.0 + (i % 100) * 0.01);
+  for (int i = 0; i < 200; ++i) s.add(500.0 + i);
+  EXPECT_LT(s.quantile(0.99), 12.0);
+  EXPECT_GT(s.quantile(0.999), 100.0);
+}
+
+TEST(Sample, MergeMatchesPooledObservations) {
+  Xoshiro256 rng(7);
+  Sample a, b, pooled;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.gaussian(100.0, 25.0);
+    (i % 3 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  for (double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), pooled.quantile(q)) << q;
+  }
+}
+
+TEST(Sample, MergeEdgeCases) {
+  Sample empty, one;
+  one.add(42.0);
+  Sample target;
+  target.merge(empty);  // no-op
+  EXPECT_TRUE(target.empty());
+  EXPECT_EQ(target.quantile(0.999), 0.0);
+  target.merge(one);  // single observation: every quantile is it
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(target.quantile(0.999), 42.0);
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 1u);
+}
+
+TEST(Histogram, MergePerTenantIntoAggregate) {
+  Histogram web(0.0, 1000.0, 50), batch(0.0, 1000.0, 50);
+  Histogram pooled(0.0, 1000.0, 50);
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform(0.0, 1200.0);  // exercises clamping too
+    (i % 2 == 0 ? web : batch).add(x);
+    pooled.add(x);
+  }
+  ASSERT_TRUE(web.merge(batch));
+  EXPECT_EQ(web.total(), pooled.total());
+  for (std::size_t i = 0; i < pooled.bucket_count(); ++i) {
+    EXPECT_EQ(web.bucket(i), pooled.bucket(i)) << i;
+  }
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram wrong_range(0.0, 20.0, 10);
+  Histogram wrong_buckets(0.0, 10.0, 5);
+  a.add(1.0);
+  EXPECT_FALSE(a.merge(wrong_range));
+  EXPECT_FALSE(a.merge(wrong_buckets));
+  EXPECT_EQ(a.total(), 1u);  // untouched on rejection
+}
+
+TEST(Histogram, MergeEmptyAndSelfLayout) {
+  Histogram a(0.0, 10.0, 10), empty(0.0, 10.0, 10);
+  a.add(5.0);
+  ASSERT_TRUE(a.merge(empty));
+  EXPECT_EQ(a.total(), 1u);
+  ASSERT_TRUE(empty.merge(a));
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.bucket(5), 1u);
+}
+
 TEST(Rng, GaussianMoments) {
   Xoshiro256 rng(99);
   RunningStats s;

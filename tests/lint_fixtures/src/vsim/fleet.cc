@@ -1,0 +1,14 @@
+// Fixture: per-flow heap allocation in the fleet hot loop. Each of the
+// three allocations below must be reported by the fleet-alloc rule.
+#include <memory>
+
+struct FixtureFlow {
+  double remaining = 0.0;
+};
+
+FixtureFlow* fixture_bad_fleet_alloc() {
+  auto owned = std::make_unique<FixtureFlow>();
+  auto shared = std::make_shared<FixtureFlow>();
+  owned->remaining += shared->remaining;
+  return new FixtureFlow();
+}

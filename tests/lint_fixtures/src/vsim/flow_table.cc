@@ -1,0 +1,10 @@
+// Fixture: a suppressed one-off allocation in a fleet-layer file — must
+// stay silent (the escape hatch for fleet-alloc).
+struct FixtureScratch {
+  int v = 0;
+};
+
+FixtureScratch* fixture_allowed_fleet_alloc() {
+  // One-time setup outside the per-flow hot loop.
+  return new FixtureScratch();  // strato-lint: allow(fleet-alloc)
+}

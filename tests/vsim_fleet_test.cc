@@ -1,0 +1,288 @@
+// Fleet-engine invariants: deterministic replay, the degenerate
+// single-link identity with TransferExperiment, weighted max-min shares,
+// per-tenant fairness, and admission control.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "vsim/fleet.h"
+#include "vsim/link.h"
+#include "vsim/topology.h"
+#include "vsim/transfer.h"
+
+namespace strato::vsim {
+namespace {
+
+using common::SimTime;
+
+// ---------------------------------------------------------------------------
+// Degenerate identity: the single-transfer path must be THE calibrated
+// TransferExperiment code path, not a fluid approximation of it.
+// ---------------------------------------------------------------------------
+
+TEST(FleetDegenerate, MatchesTransferExperimentExactly) {
+  for (const auto cls :
+       {corpus::Compressibility::kHigh, corpus::Compressibility::kModerate,
+        corpus::Compressibility::kLow}) {
+    for (const int bg : {0, 4}) {
+      TransferConfig cfg;
+      cfg.data = cls;
+      cfg.bg_flows = bg;
+      cfg.total_bytes = 200'000'000ULL;
+      cfg.seed = 17;
+
+      core::StaticPolicy a(0, "NO");
+      core::StaticPolicy b(0, "NO");
+      const TransferResult want = TransferExperiment(cfg).run(a);
+      const TransferResult got = FleetEngine::run_degenerate(cfg, b);
+      EXPECT_DOUBLE_EQ(got.completion_s, want.completion_s)
+          << corpus::to_string(cls) << " bg=" << bg;
+      EXPECT_EQ(got.raw_bytes, want.raw_bytes);
+      EXPECT_EQ(got.wire_bytes, want.wire_bytes);
+    }
+  }
+}
+
+TEST(FleetDegenerate, MatchesTransferExperimentUnderDynamicPolicy) {
+  TransferConfig cfg;
+  cfg.data = corpus::Compressibility::kHigh;
+  cfg.bg_flows = 6;
+  cfg.total_bytes = 500'000'000ULL;
+  cfg.seed = 3;
+
+  core::AdaptivePolicy a({}, SimTime::seconds(2));
+  core::AdaptivePolicy b({}, SimTime::seconds(2));
+  const TransferResult want = TransferExperiment(cfg).run(a);
+  const TransferResult got = FleetEngine::run_degenerate(cfg, b);
+  EXPECT_DOUBLE_EQ(got.completion_s, want.completion_s);
+  EXPECT_EQ(got.wire_bytes, want.wire_bytes);
+  ASSERT_EQ(got.blocks_per_level.size(), want.blocks_per_level.size());
+  for (std::size_t l = 0; l < want.blocks_per_level.size(); ++l) {
+    EXPECT_EQ(got.blocks_per_level[l], want.blocks_per_level[l]) << l;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Max-min allocation.
+// ---------------------------------------------------------------------------
+
+TEST(MaxMin, DegenerateSingleLinkMatchesSharedLinkFormula) {
+  // One weight-1 foreground flow against k weight-0.65 background flows
+  // on the single-link topology must reproduce SharedLink's closed form
+  // capacity / (1 + 0.65 k), fluctuation series included (LinkBank link 0
+  // shares the seed verbatim).
+  const VirtProfile& prof = profile(VirtTech::kKvmPara);
+  const std::uint64_t seed = 42;
+  for (const int k : {0, 2, 6}) {
+    Topology topo = Topology::single(prof);
+    LinkBank bank(topo, seed);
+    MaxMinAllocator alloc(topo);
+    SharedLink link(prof, k, seed);
+
+    std::vector<std::uint32_t> path(static_cast<std::size_t>(k) + 1, 0);
+    std::vector<double> weight(static_cast<std::size_t>(k) + 1,
+                               kBackgroundFlowWeight);
+    weight[0] = 1.0;
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t f = 0; f <= static_cast<std::uint32_t>(k); ++f) {
+      active.push_back(f);
+    }
+    std::vector<double> rate(active.size(), 0.0);
+    std::vector<double> caps;
+
+    for (int step = 1; step <= 8; ++step) {
+      const SimTime t = SimTime::seconds(0.5 * step);
+      bank.capacities(t, caps);
+      alloc.allocate(caps, path, weight, active, rate);
+      const double want = link.fg_rate(t);
+      EXPECT_NEAR(rate[0], want, 1e-6 * want) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(MaxMin, RatesAreWeightProportionalOnOneLink) {
+  Topology topo;
+  const auto l = topo.add_link(LinkSpec{"l", 100.0, {}});
+  topo.add_path({l});
+  MaxMinAllocator alloc(topo);
+
+  const std::vector<double> caps = {100.0};
+  const std::vector<std::uint32_t> path = {0, 0, 0};
+  const std::vector<double> weight = {2.0, 1.0, 1.0};
+  const std::vector<std::uint32_t> active = {0, 1, 2};
+  std::vector<double> rate(3, 0.0);
+  alloc.allocate(caps, path, weight, active, rate);
+  EXPECT_NEAR(rate[0], 50.0, 1e-9);
+  EXPECT_NEAR(rate[1], 25.0, 1e-9);
+  EXPECT_NEAR(rate[2], 25.0, 1e-9);
+}
+
+TEST(MaxMin, BottleneckFreezesAndReleasesCapacity) {
+  // Two links in sequence: flow 0 crosses both, flow 1 only the wide one.
+  // The narrow link caps flow 0 at 10; flow 1 then takes the released
+  // capacity of the wide link (90) — classic progressive filling.
+  Topology topo;
+  const auto narrow = topo.add_link(LinkSpec{"narrow", 10.0, {}});
+  const auto wide = topo.add_link(LinkSpec{"wide", 100.0, {}});
+  topo.add_path({narrow, wide});  // path 0
+  topo.add_path({wide});          // path 1
+  MaxMinAllocator alloc(topo);
+
+  const std::vector<double> caps = {10.0, 100.0};
+  const std::vector<std::uint32_t> path = {0, 1};
+  const std::vector<double> weight = {1.0, 1.0};
+  const std::vector<std::uint32_t> active = {0, 1};
+  std::vector<double> rate(2, 0.0);
+  alloc.allocate(caps, path, weight, active, rate);
+  EXPECT_NEAR(rate[0], 10.0, 1e-9);
+  EXPECT_NEAR(rate[1], 90.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet runs.
+// ---------------------------------------------------------------------------
+
+FleetConfig small_fleet(std::uint64_t seed) {
+  Topology::FleetShape shape;
+  shape.racks = 2;
+  shape.hosts_per_rack = 2;
+  FleetConfig cfg;
+  cfg.topology = Topology::rack_spine_wan(shape);
+  cfg.seed = seed;
+  cfg.horizon = SimTime::seconds(30);
+
+  TenantSpec analytics;
+  analytics.name = "analytics";
+  analytics.weight = 2.0;
+  analytics.policy = TenantPolicy::dynamic();
+  analytics.arrival_per_s = 1.0;
+  analytics.mean_flow_bytes = 16ull << 20;
+  analytics.class_mix = {1.0, 0.0, 0.0};  // HIGH
+  cfg.tenants.push_back(analytics);
+
+  TenantSpec archive;
+  archive.name = "archive";
+  archive.weight = 1.0;
+  archive.policy = TenantPolicy::fixed(0);
+  archive.arrival_per_s = 0.5;
+  archive.mean_flow_bytes = 8ull << 20;
+  archive.class_mix = {0.0, 0.0, 1.0};  // LOW
+  cfg.tenants.push_back(archive);
+
+  BgTrafficConfig bg;
+  bg.arrival_per_s = 0.5;
+  bg.mean_holding_s = 10.0;
+  bg.initial_flows = 2;
+  bg.max_flows = 6;
+  cfg.tenants.push_back(background_tenant(bg));
+  return cfg;
+}
+
+TEST(Fleet, ReplayIsByteIdentical) {
+  const FleetMetrics a = FleetEngine(small_fleet(7)).run();
+  const FleetMetrics b = FleetEngine(small_fleet(7)).run();
+  const std::string ja = a.to_json();
+  EXPECT_EQ(ja, b.to_json());
+  EXPECT_GT(a.flows_completed, 0u);
+  EXPECT_FALSE(ja.empty());
+}
+
+TEST(Fleet, DifferentSeedsDiverge) {
+  const FleetMetrics a = FleetEngine(small_fleet(7)).run();
+  const FleetMetrics c = FleetEngine(small_fleet(8)).run();
+  EXPECT_NE(a.to_json(), c.to_json());
+}
+
+TEST(Fleet, AllAdmittedFlowsCompleteWithinDrain) {
+  const FleetMetrics m = FleetEngine(small_fleet(21)).run();
+  std::uint64_t admitted = 0;
+  for (const auto& tm : m.tenants) {
+    admitted += tm.admitted;
+    EXPECT_EQ(tm.spawned, tm.admitted + tm.rejected) << tm.name;
+  }
+  EXPECT_EQ(m.flows_completed, admitted);
+  EXPECT_GT(m.epochs, 0u);
+  EXPECT_GT(m.sim_completed_s, 0.0);
+}
+
+TEST(Fleet, CompressionShrinksWireBytesForCompressibleTenant) {
+  const FleetMetrics m = FleetEngine(small_fleet(5)).run();
+  const TenantMetrics& analytics = m.tenants[0];  // HIGH corpus, adaptive
+  const TenantMetrics& archive = m.tenants[1];    // LOW corpus, level 0
+  ASSERT_GT(analytics.raw_bytes, 0.0);
+  ASSERT_GT(archive.raw_bytes, 0.0);
+  // Level 0 moves every raw byte (plus frame headers) onto the wire.
+  EXPECT_GT(archive.wire_bytes, archive.raw_bytes * 0.99);
+  // The archive tenant never leaves level 0.
+  EXPECT_NEAR(archive.raw_bytes_per_level[0], archive.raw_bytes, 1e-6);
+}
+
+TEST(Fleet, HigherWeightTenantFinishesFaster) {
+  // Two identical tenants, same flows and sizes, sharing one fluctuating
+  // link; only the kPerTenant weight differs. The heavier tenant's median
+  // completion must beat the lighter one's.
+  FleetConfig cfg;
+  cfg.topology = Topology::single(profile(VirtTech::kKvmPara));
+  cfg.seed = 13;
+  cfg.horizon = SimTime::seconds(10);
+
+  for (const double w : {3.0, 1.0}) {
+    TenantSpec t;
+    t.name = w > 1.0 ? "heavy" : "light";
+    t.weight = w;
+    t.share = ShareMode::kPerTenant;
+    t.policy = TenantPolicy::fixed(0);
+    t.arrival_per_s = 0.0;
+    t.initial_flows = 4;
+    t.mean_flow_bytes = 64ull << 20;
+    t.min_flow_bytes = 64ull << 20;  // fixed-size flows
+    t.class_mix = {0.0, 0.0, 1.0};
+    cfg.tenants.push_back(t);
+  }
+  const FleetMetrics m = FleetEngine(cfg).run();
+  ASSERT_EQ(m.tenants[0].completed, 4u);
+  ASSERT_EQ(m.tenants[1].completed, 4u);
+  EXPECT_LT(m.tenants[0].completion_s.quantile(0.5),
+            m.tenants[1].completion_s.quantile(0.5));
+}
+
+TEST(Fleet, AdmissionControlRejectsBeyondQueueBound) {
+  FleetConfig cfg;
+  cfg.topology = Topology::single(profile(VirtTech::kKvmPara));
+  cfg.seed = 29;
+  cfg.horizon = SimTime::seconds(20);
+
+  TenantSpec t;
+  t.name = "bursty";
+  t.policy = TenantPolicy::fixed(0);
+  t.arrival_per_s = 10.0;
+  t.flow_limit = 50;
+  t.max_in_flight = 2;
+  t.max_queue = 4;
+  t.mean_flow_bytes = 32ull << 20;
+  t.class_mix = {0.0, 0.0, 1.0};
+  cfg.tenants.push_back(t);
+
+  const FleetMetrics m = FleetEngine(cfg).run();
+  const TenantMetrics& tm = m.tenants[0];
+  EXPECT_EQ(tm.spawned, 50u);
+  EXPECT_GT(tm.rejected, 0u);
+  EXPECT_EQ(tm.admitted + tm.rejected, tm.spawned);
+  EXPECT_EQ(tm.completed, tm.admitted);
+}
+
+TEST(Fleet, BackgroundTenantIsJustAnotherTenant) {
+  const FleetMetrics m = FleetEngine(small_fleet(31)).run();
+  const TenantMetrics& bg = m.tenants[2];
+  EXPECT_EQ(bg.name, "background");
+  EXPECT_GT(bg.completed, 0u);
+  // Dwell flows move no application payload and report no completions
+  // into the transfer-latency sample.
+  EXPECT_EQ(bg.completion_s.count(), 0u);
+  EXPECT_EQ(bg.raw_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace strato::vsim
