@@ -1,83 +1,176 @@
-// Codec micro-benchmarks (google-benchmark): compression/decompression
-// throughput and ratio of every level on every corpus class — the numbers
-// behind CodecModel::defaults() and the speed/ratio ladder the adaptive
-// scheme assumes (Section III: levels "ordered by their respective
-// time/compression ratio").
-#include <benchmark/benchmark.h>
+// Single-core codec kernel trajectory: encode/decode throughput and ratio
+// for every ladder level on every corpus class. Emits one JSON object on
+// stdout and mirrors it to the file named by argv[1] (the committed
+// BENCH_codec.json trajectory — see scripts/check_bench.sh, schema
+// "codec_micro").
+//
+// These rows are the per-core numbers behind CodecModel::defaults() and
+// the speed/ratio ladder Algorithm 1 assumes; unlike the pipeline benches
+// they involve no worker threads, so they isolate raw kernel speed (the
+// lever the SIMD layer in common/simd.h exists to move). `blocks` and
+// `ratio` are deterministic and must reproduce exactly between runs; the
+// timing fields carry a tolerance band plus an optional min-gain floor
+// (BENCH_MIN_GAIN) so the trajectory must move up, not just stay in band.
+//
+// Before timing anything the bench proves wire identity between the
+// active SIMD instruction set and the forced-scalar kernels for every
+// level × corpus — a fast cross-check of the property the oracle and the
+// simd tests enforce in depth.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "common/checksum.h"
+#include "bench_json.h"
+#include "common/bytes.h"
+#include "common/simd.h"
 #include "compress/registry.h"
 #include "corpus/generator.h"
 
-using namespace strato;
-
 namespace {
 
-constexpr std::size_t kBlock = 128 * 1024;  // the channel block size
+using strato::bench::appendf;
+using strato::common::Bytes;
+using strato::compress::CodecRegistry;
 
-corpus::Compressibility cls(int idx) {
-  switch (idx) {
-    case 0:
-      return corpus::Compressibility::kHigh;
-    case 1:
-      return corpus::Compressibility::kModerate;
-    default:
-      return corpus::Compressibility::kLow;
+constexpr std::size_t kBlockSize = 128 * 1024;
+constexpr std::size_t kBlocksPerCorpus = 32;  // 4 MiB per configuration
+constexpr std::uint64_t kCorpusSeed = 7;
+constexpr int kTimedRuns = 5;  // best-of-N after one warm-up (shared-core noise)
+
+std::vector<Bytes> make_corpus(strato::corpus::Compressibility c) {
+  auto gen = strato::corpus::make_generator(c, kCorpusSeed);
+  std::vector<Bytes> blocks;
+  blocks.reserve(kBlocksPerCorpus);
+  for (std::size_t i = 0; i < kBlocksPerCorpus; ++i) {
+    blocks.push_back(strato::corpus::take(*gen, kBlockSize));
   }
+  return blocks;
 }
 
-void BM_Compress(benchmark::State& state) {
-  const auto& reg = compress::CodecRegistry::standard();
-  const auto& codec = *reg.level(static_cast<std::size_t>(state.range(0))).codec;
-  auto gen = corpus::make_generator(cls(static_cast<int>(state.range(1))), 3);
-  const auto data = corpus::take(*gen, kBlock);
-  common::Bytes out(codec.max_compressed_size(data.size()));
-  std::size_t comp_size = 0;
-  for (auto _ : state) {
-    comp_size = codec.compress(data, out);
-    benchmark::DoNotOptimize(out.data());
+/// Encode wires must be byte-identical whichever kernel table is active;
+/// decode must invert them exactly. Any mismatch is a correctness bug in
+/// the SIMD layer, not a perf detail.
+bool identity_check(const CodecRegistry& registry) {
+  for (std::size_t level = 1; level < registry.level_count(); ++level) {
+    const auto& codec = *registry.level(level).codec;
+    for (const auto c : {strato::corpus::Compressibility::kHigh,
+                         strato::corpus::Compressibility::kModerate,
+                         strato::corpus::Compressibility::kLow}) {
+      auto gen = strato::corpus::make_generator(c, 42);
+      const Bytes data = strato::corpus::take(*gen, 96 * 1024 + 13);
+      const Bytes wire_active = codec.compress(data);
+      Bytes wire_scalar;
+      {
+        strato::common::simd::ScopedIsa forced(
+            strato::common::simd::Isa::kScalar);
+        wire_scalar = codec.compress(data);
+      }
+      if (wire_active != wire_scalar) {
+        std::fprintf(stderr, "identity FAILED (encode) level %zu\n", level);
+        return false;
+      }
+      Bytes back(data.size());
+      if (codec.decompress(wire_active, back) != data.size() || back != data) {
+        std::fprintf(stderr, "identity FAILED (decode) level %zu\n", level);
+        return false;
+      }
+    }
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-  state.counters["ratio"] =
-      static_cast<double>(comp_size) / static_cast<double>(data.size());
+  return true;
 }
 
-void BM_Decompress(benchmark::State& state) {
-  const auto& reg = compress::CodecRegistry::standard();
-  const auto& codec = *reg.level(static_cast<std::size_t>(state.range(0))).codec;
-  auto gen = corpus::make_generator(cls(static_cast<int>(state.range(1))), 3);
-  const auto data = corpus::take(*gen, kBlock);
-  const auto comp = codec.compress(data);
-  common::Bytes back(data.size());
-  for (auto _ : state) {
-    codec.decompress(comp, back);
-    benchmark::DoNotOptimize(back.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
+struct Timed {
+  double secs = 0.0;
+  std::size_t out_bytes = 0;
+};
 
-void LevelsByCorpus(benchmark::internal::Benchmark* b) {
-  for (int level = 0; level < 4; ++level) {
-    for (int c = 0; c < 3; ++c) b->Args({level, c});
+template <typename Fn>
+Timed best_of(Fn&& fn) {
+  Timed best;
+  best.out_bytes = fn();  // warm-up (page faults, scratch growth)
+  best.secs = 1e9;
+  for (int run = 0; run < kTimedRuns; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t bytes = fn();
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - start).count();
+    if (secs < best.secs) best.secs = secs;
+    best.out_bytes = bytes;
   }
+  return best;
 }
-
-BENCHMARK(BM_Compress)->Apply(LevelsByCorpus)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_Decompress)->Apply(LevelsByCorpus)->Unit(benchmark::kMicrosecond);
-
-void BM_Xxh64(benchmark::State& state) {
-  auto gen = corpus::make_generator(corpus::Compressibility::kLow, 1);
-  const auto data = corpus::take(*gen, kBlock);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(common::xxh64(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(data.size()));
-}
-BENCHMARK(BM_Xxh64)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const CodecRegistry& registry = CodecRegistry::extended();
+  if (!identity_check(registry)) return 1;
+
+  const strato::corpus::Compressibility corpora[] = {
+      strato::corpus::Compressibility::kHigh,
+      strato::corpus::Compressibility::kModerate,
+      strato::corpus::Compressibility::kLow};
+
+  std::string json;
+  appendf(json, "{\n  \"bench\": \"codec_micro\",\n");
+  appendf(json, "  \"block_size\": %zu,\n  \"blocks\": %zu,\n", kBlockSize,
+          kBlocksPerCorpus);
+  appendf(json, "  \"corpus_seed\": %llu,\n",
+          static_cast<unsigned long long>(kCorpusSeed));
+  appendf(json, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  appendf(json, "  \"simd_isa\": \"%s\",\n",
+          strato::common::simd::to_string(strato::common::simd::active_isa()));
+  appendf(json, "  \"identity_check\": \"pass\",\n");
+  appendf(json, "  \"results\": [\n");
+
+  const double raw = static_cast<double>(kBlocksPerCorpus * kBlockSize);
+  const double mib = raw / (1024.0 * 1024.0);
+  bool first = true;
+  for (const auto c : corpora) {
+    const auto blocks = make_corpus(c);
+    for (std::size_t level = 1; level < registry.level_count(); ++level) {
+      const auto& entry = registry.level(level);
+      const auto& codec = *entry.codec;
+
+      Bytes scratch(codec.max_compressed_size(kBlockSize));
+      const Timed enc = best_of([&] {
+        std::size_t total = 0;
+        for (const auto& b : blocks) total += codec.compress(b, scratch);
+        return total;
+      });
+
+      std::vector<Bytes> wires;
+      wires.reserve(blocks.size());
+      for (const auto& b : blocks) wires.push_back(codec.compress(b));
+      Bytes back(kBlockSize);
+      const Timed dec = best_of([&] {
+        std::size_t total = 0;
+        for (const auto& w : wires) total += codec.decompress(w, back);
+        return total;
+      });
+
+      const double ratio = static_cast<double>(enc.out_bytes) / raw;
+      const char* corpus_name = strato::corpus::to_string(c);
+      if (!first) appendf(json, ",\n");
+      first = false;
+      appendf(json,
+              "    {\"corpus\": \"%s\", \"level\": \"%s\", \"op\": "
+              "\"encode\", \"blocks\": %zu, \"ratio\": %.4f, "
+              "\"seconds\": %.4f, \"mib_per_s\": %.1f},\n",
+              corpus_name, entry.label.c_str(), kBlocksPerCorpus, ratio,
+              enc.secs, mib / enc.secs);
+      appendf(json,
+              "    {\"corpus\": \"%s\", \"level\": \"%s\", \"op\": "
+              "\"decode\", \"blocks\": %zu, \"ratio\": %.4f, "
+              "\"seconds\": %.4f, \"mib_per_s\": %.1f}",
+              corpus_name, entry.label.c_str(), kBlocksPerCorpus, ratio,
+              dec.secs, mib / dec.secs);
+    }
+  }
+  appendf(json, "\n  ]\n}\n");
+  return strato::bench::write_output(json, argc, argv);
+}

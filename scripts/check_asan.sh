@@ -4,6 +4,11 @@
 # differential oracle, fault injection) under AddressSanitizer — the
 # "never out-of-bounds on hostile input" half of the verification story.
 #
+# A second build with -DSTRATO_SIMD=OFF then runs the unit + fuzz ctest
+# labels once on the scalar fallback: the golden vectors pin the OFF
+# build's wire to the default build's, and the sanitizer covers the
+# scalar kernels the vectorized dispatch would otherwise shadow.
+#
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
@@ -46,6 +51,21 @@ for t in "${TESTS[@]}"; do
     status=1
   fi
 done
+
+# Scalar-fallback pass: -DSTRATO_SIMD=OFF compiles the kernel layer out,
+# and the unit + fuzz labels (golden vectors included) prove the scalar
+# build emits and accepts the same wire as the default build.
+OFF_DIR="${BUILD_DIR}-simd-off"
+echo "== STRATO_SIMD=OFF: unit + fuzz labels =="
+cmake -B "$OFF_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTRATO_SANITIZE=address \
+  -DSTRATO_SIMD=OFF
+cmake --build "$OFF_DIR" -j "$(nproc)"
+if ! ctest --test-dir "$OFF_DIR" -L 'unit|fuzz' --output-on-failure \
+    -j "$(nproc)"; then
+  status=1
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "ASan suite clean."

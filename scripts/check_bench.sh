@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark trajectory gate: re-run the scaling benches and compare them
-# against the committed BENCH_pipeline.json / BENCH_decode.json at the
-# repo root.
+# against the committed BENCH_pipeline.json / BENCH_decode.json /
+# BENCH_codec.json at the repo root.
 #
 #   scripts/check_bench.sh [build-dir] [--update]
 #
@@ -16,6 +16,13 @@
 #     compared when the committed baseline was recorded on a machine
 #     with the same hardware_concurrency — numbers from different
 #     hardware are not comparable and are skipped with a note.
+#   * BENCH_MIN_GAIN (default 0) raises the bar for the single-core
+#     codec rows (bench_codec_micro): on same-hardware runs every fresh
+#     mib_per_s must be >= committed x (1 + BENCH_MIN_GAIN), i.e. the
+#     kernel trajectory must move UP, not merely avoid regressing. Use
+#     it when landing a perf PR against the pre-PR baseline (e.g.
+#     BENCH_MIN_GAIN=0.1 scripts/check_bench.sh), then --update to
+#     commit the new trajectory.
 #   * When hardware_concurrency >= 4, the parallel acceptance floor is
 #     asserted on the fresh run: speedup_vs_1 >= 2.0 at workers=4 (the
 #     decode-pipeline acceptance target; the encode pipeline shares it
@@ -29,19 +36,21 @@ UPDATE=0
 for arg in "$@"; do
   case "$arg" in
     --update) UPDATE=1 ;;
-    --help|-h) sed -n '2,24p' "$0"; exit 0 ;;
+    --help|-h) sed -n '2,31p' "$0"; exit 0 ;;
     *) BUILD="$arg" ;;
   esac
 done
 
 TOL="${BENCH_TOL:-0.50}"
+MIN_GAIN="${BENCH_MIN_GAIN:-0}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 status=0
 for pair in "bench_pipeline_scaling:BENCH_pipeline.json" \
             "bench_decode_scaling:BENCH_decode.json" \
-            "bench_fleet_scale:BENCH_fleet.json"; do
+            "bench_fleet_scale:BENCH_fleet.json" \
+            "bench_codec_micro:BENCH_codec.json"; do
   bench="${pair%%:*}"
   committed="${pair##*:}"
   bin="$BUILD/bench/$bench"
@@ -65,10 +74,11 @@ for pair in "bench_pipeline_scaling:BENCH_pipeline.json" \
     echo "baseline updated: $committed"
     continue
   fi
-  if ! python3 - "$committed" "$fresh" "$TOL" <<'EOF'
+  if ! python3 - "$committed" "$fresh" "$TOL" "$MIN_GAIN" <<'EOF'
 import json, sys
 
 committed_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+min_gain = float(sys.argv[4])
 with open(committed_path) as f:
     base = json.load(f)
 with open(fresh_path) as f:
@@ -80,7 +90,19 @@ with open(fresh_path) as f:
 #   det      row columns that must match exactly
 #   timing   higher-is-better throughput column under the tolerance band
 #   speedup_floor  assert best speedup_vs_1 at 4 workers (scaling benches)
+#   min_gain applies the BENCH_MIN_GAIN floor: every same-hardware row
+#            must show fresh >= committed x (1 + min_gain) — the
+#            single-core codec trajectory must move up, not just hold
 SCHEMAS = {
+    "codec_micro": {
+        "top": ["bench", "block_size", "blocks", "corpus_seed",
+                "identity_check"],
+        "key": ["corpus", "level", "op"],
+        "det": ["blocks", "ratio"],
+        "timing": "mib_per_s",
+        "speedup_floor": False,
+        "min_gain": True,
+    },
     "fleet_scale": {
         "top": ["bench", "seed", "epoch_ms", "flows_total",
                 "flows_completed", "epochs", "sim_completed_s", "p50_s",
@@ -140,6 +162,12 @@ for k in sorted(set(base_rows) & set(cur_rows)):
                                f"{c[TIMING_COL]:.1f} ({rel:+.0%})")
         elif rel > tol:
             print(f"note: {k} improved {rel:+.0%} — consider --update")
+        if schema.get("min_gain") and min_gain > 0 \
+                and c[TIMING_COL] < b[TIMING_COL] * (1.0 + min_gain):
+            regressions.append(
+                f"{k}: {TIMING_COL} {c[TIMING_COL]:.1f} below min_gain "
+                f"floor {b[TIMING_COL] * (1.0 + min_gain):.1f} "
+                f"(committed {b[TIMING_COL]:.1f} x {1.0 + min_gain:.2f})")
 
 # Fleet rows carry no per-row timing column; band the top-level
 # throughput figure instead.

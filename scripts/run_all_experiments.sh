@@ -42,6 +42,11 @@ if ! "$SCRIPT_DIR/check_bench.sh" "$BUILD"; then
   status=1
 fi
 
+# Single-core kernel trajectory as a standalone JSON artifact (the same
+# bench also runs inside the glob above and the check_bench.sh gate; this
+# copy is the one plots and PR descriptions reference).
+"$BUILD"/bench/bench_codec_micro "$OUT/BENCH_codec.json" >/dev/null
+
 # Timeline CSVs for external plotting.
 "$BUILD"/bench/bench_fig4_timeline_high --csv "$OUT/fig4_timeline.csv" >/dev/null
 "$BUILD"/bench/bench_fig5_timeline_low  --csv "$OUT/fig5_timeline.csv" >/dev/null

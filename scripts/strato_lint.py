@@ -35,6 +35,13 @@ into every presubmit script (check_static.sh runs this first):
                    tail on buffer wraparound) carry an explicit
                    `// strato-lint: allow(copy)` so every byte copy on
                    the wire path is a reviewable artifact.
+  simd             src/common/simd.h is the single home of vector
+                   intrinsics and bit-scan builtins: raw intrinsics
+                   includes (<immintrin.h>, <arm_neon.h>, ...), _mm*/
+                   vld1q/vst1q intrinsic calls and the __builtin_ctz/clz
+                   family are banned everywhere else in src/ — portable
+                   code calls simd::kernels() / simd::ctz32/ctz64, so one
+                   file carries every per-ISA #if.
   pragma-once      every header starts with #pragma once.
   using-namespace  `using namespace std` is banned in src/.
   include-path     project includes are "dir/file.h" from the src/ root:
@@ -82,6 +89,9 @@ COPY_BANNED_PREFIX = "compress/framing."
 # The fleet hot loop: per-flow heap allocation is banned (SoA columns only).
 FLEET_ALLOC_PREFIXES = ("vsim/flow_table.", "vsim/fleet.", "vsim/topology.")
 
+# The one sanctioned home of intrinsics and bit-scan builtins.
+SIMD_ALLOWED = {"common/simd.h"}
+
 RULES = {
     "wallclock": [
         (re.compile(r"system_clock"), "std::chrono::system_clock"),
@@ -114,6 +124,17 @@ RULES = {
          "heap allocation (new) in the fleet hot loop"),
         (re.compile(r"std::make_(unique|shared)\b"),
          "heap allocation (make_unique/make_shared) in the fleet hot loop"),
+    ],
+    "simd": [
+        (re.compile(r"#\s*include\s+<(?:[a-z0-9]*mmintrin|immintrin|"
+                    r"x86intrin|avx[a-z0-9]*intrin|arm_neon|arm_sve)\.h>"),
+         "raw intrinsics include (the kernel layer lives in common/simd.h)"),
+        (re.compile(r"(?<![A-Za-z0-9_])_mm(?:256|512)?_\w+\s*\("),
+         "raw x86 intrinsic call (use the common/simd.h kernel table)"),
+        (re.compile(r"(?<![A-Za-z0-9_])v(?:ld|st)1q?_\w+\s*\("),
+         "raw NEON intrinsic call (use the common/simd.h kernel table)"),
+        (re.compile(r"__builtin_c[tl]z(?:l|ll)?\b"),
+         "__builtin_ctz/clz family (use simd::ctz32/ctz64)"),
     ],
     "using-namespace": [
         (re.compile(r"\busing\s+namespace\s+std\b"), "using namespace std"),
@@ -239,6 +260,8 @@ def lint_file(path: Path, rel: str):
             check("copy", RULES["copy"])
         if rel.startswith(FLEET_ALLOC_PREFIXES):
             check("fleet-alloc", RULES["fleet-alloc"])
+        if rel not in SIMD_ALLOWED:
+            check("simd", RULES["simd"])
         check("using-namespace", RULES["using-namespace"])
         check("include-path", RULES["include-path"])
 
@@ -279,6 +302,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("core/bad_header.h", "using-namespace"): 1,
     ("core/bad_header.h", "include-path"): 1,
     ("compress/framing.cc", "copy"): 4,
+    ("compress/bad_simd.cc", "simd"): 5,
     ("vsim/fleet.cc", "fleet-alloc"): 3,
 }
 

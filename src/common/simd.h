@@ -1,0 +1,515 @@
+// Vectorized single-core kernel layer: the ONLY file in the tree where
+// CPU intrinsics and the __builtin_ctz family may appear (enforced by the
+// strato-lint `simd` rule). Everything above this header — LZ match loops,
+// wild copies, bulk hashing — calls through the dispatched `Kernels` table
+// so exactly one place knows about SSE2/AVX2/NEON.
+//
+// Contracts (identical across every ISA, including the scalar fallback):
+//
+//   * match_length(a, b, limit): length of the common prefix of [a, limit)
+//     and [b, ...), b < a. Never reads at or past `limit`. Pure function —
+//     all ISAs return the same value, so match choices (and therefore the
+//     wire bytes) cannot depend on the dispatched level.
+//   * wild_copy(dst, src, len): copies len bytes in full-register strides;
+//     may write up to kWildCopyPad - 1 bytes past dst + len and read the
+//     same margin past src + len. Callers guarantee both margins
+//     (over-allocated scratch on the encode side).
+//   * copy_match(dst, dist, len, wild_end): LZ77 match expansion — the
+//     byte-serial semantics dst[i] = dst[i - dist] for i in [0, len),
+//     overlap-correct for any dist >= 1 via the overlap-widening idiom
+//     (see below). Never writes at or past wild_end; when the wild margin
+//     does not fit it degrades to an exact byte loop, so exact-size decode
+//     buffers need no padding.
+//   * hash4_bulk(src, count, bits, out): out[j] = hash of the 4-byte group
+//     at src + j (the multiplicative LZ hash, identical to
+//     compress::detail::lz_hash32). Reads src[0 .. count + 2].
+//
+// Only the bytes [dst, dst + len) of a copy are specified; the wild margin
+// may receive ISA-dependent garbage. Every caller either over-allocates
+// scratch it never reads back (encode) or overwrites the margin with the
+// next sequence before it can be observed (decode), which is what keeps
+// the wire and the decoded payload byte-identical across ISAs.
+//
+// Dispatch happens once, on first use: compile-time capability (this
+// build's target + -DSTRATO_SIMD), runtime capability (cpuid / platform
+// baseline), then the STRATO_SIMD environment override (OFF|scalar|sse2|
+// avx2|neon) for A/B runs. Tests force a level in-process via force_isa().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if !defined(STRATO_SIMD_DISABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define STRATO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if !defined(STRATO_SIMD_DISABLED) && defined(__aarch64__)
+#define STRATO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace strato::common::simd {
+
+/// Wild copies may overshoot a copy's nominal length by up to this many
+/// bytes (one 32-byte register). Encode-side scratch is over-allocated by
+/// at least this much; decode-side kernels take an explicit wild_end.
+inline constexpr std::size_t kWildCopyPad = 32;
+
+/// Instruction-set level of a kernel table, in increasing preference.
+enum class Isa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+inline const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+  }
+  return "?";
+}
+
+/// Count of trailing zero bits; v must be nonzero.
+inline int ctz64(std::uint64_t v) { return __builtin_ctzll(v); }
+inline int ctz32(std::uint32_t v) {
+  return __builtin_ctz(v);  // strato-lint: allow(simd) — this IS simd.h
+}
+
+/// One resolved kernel set. Fetch once per block (kernels()) and call
+/// through the members — the indirection is hoisted out of the hot loops.
+struct Kernels {
+  Isa isa;
+  std::size_t (*match_length)(const std::uint8_t* a, const std::uint8_t* b,
+                              const std::uint8_t* limit);
+  void (*wild_copy)(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t len);
+  void (*copy_match)(std::uint8_t* dst, std::size_t dist, std::size_t len,
+                     std::uint8_t* wild_end);
+  void (*hash4_bulk)(const std::uint8_t* src, std::size_t count, int bits,
+                     std::uint32_t* out);
+};
+
+namespace detail {
+
+/// The multiplicative LZ hash (kept in lock-step with
+/// compress::detail::lz_hash32; hash4_bulk's unit test pins the identity).
+inline std::uint32_t hash_u32(std::uint32_t v, int bits) {
+  return (v * 2654435761u) >> (32 - bits);
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels (the semantics every vector path must match).
+// ---------------------------------------------------------------------
+
+inline std::size_t scalar_match_length(const std::uint8_t* a,
+                                       const std::uint8_t* b,
+                                       const std::uint8_t* limit) {
+  const std::uint8_t* start = a;
+  while (a + 8 <= limit) {
+    const std::uint64_t diff = load64(a) ^ load64(b);
+    if (diff != 0) {
+      return static_cast<std::size_t>(a - start) +
+             static_cast<std::size_t>(ctz64(diff) >> 3);
+    }
+    a += 8;
+    b += 8;
+  }
+  while (a < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(a - start);
+}
+
+inline void scalar_wild_copy(std::uint8_t* dst, const std::uint8_t* src,
+                             std::size_t len) {
+  // 16-byte memcpy strides: the compiler lowers each to two word moves
+  // (or one vector move when the baseline allows) without intrinsics.
+  std::size_t i = 0;
+  do {
+    std::memcpy(dst + i, src + i, 16);
+    i += 16;
+  } while (i < len);
+}
+
+/// Exact (non-wild) overlap-correct byte copy — the tail/fallback path of
+/// every copy_match kernel and the semantic definition of a match copy.
+inline void exact_copy_match(std::uint8_t* dst, std::size_t dist,
+                             std::size_t len) {
+  const std::uint8_t* src = dst - dist;
+  if (dist >= 8) {
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) std::memcpy(dst + i, src + i, 8);
+    for (; i < len; ++i) dst[i] = src[i];
+  } else {
+    for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
+  }
+}
+
+/// Overlap-widening idiom, shared by every vector kernel: a match at
+/// distance dist < stride cannot be copied in stride-byte blocks directly
+/// (source and destination overlap within one block). But the match source
+/// is periodic with period dist, so reading at any multiple of dist yields
+/// the same bytes. Byte-copy a short prefix to push the cursor forward,
+/// then copy the rest at the widened distance
+///     D = dist * ceil(stride / dist)  (>= stride)
+/// which is overlap-free for stride-byte blocks. The prefix is D - dist
+/// bytes (< stride + dist <= 2 * stride), so the scalar work is bounded by
+/// two registers' worth regardless of len.
+///
+/// This helper performs the scalar prefix and returns the widened
+/// distance; each ISA's copy_match runs its own strided loop from
+/// dst + *pos at that distance (lambdas cannot carry target attributes,
+/// so the strided loop cannot be shared).
+inline std::size_t widen_overlap(std::uint8_t* dst, std::size_t dist,
+                                 std::size_t len, std::size_t stride,
+                                 std::size_t* pos) {
+  *pos = 0;
+  if (dist >= stride) return dist;
+  const std::size_t wide = dist * ((stride + dist - 1) / dist);
+  const std::size_t prefix = wide - dist;  // makes dst - wide a valid source
+  const std::uint8_t* src = dst - dist;
+  std::size_t p = 0;
+  for (; p < prefix && p < len; ++p) dst[p] = src[p];
+  *pos = p;
+  return wide;
+}
+
+inline void scalar_copy_match(std::uint8_t* dst, std::size_t dist,
+                              std::size_t len, std::uint8_t* wild_end) {
+  if (dst + len + 16 > wild_end) {
+    exact_copy_match(dst, dist, len);
+    return;
+  }
+  std::size_t pos = 0;
+  const std::size_t wide = widen_overlap(dst, dist, len, 16, &pos);
+  const std::uint8_t* src = dst - wide;
+  while (pos < len) {
+    std::memcpy(dst + pos, src + pos, 16);
+    pos += 16;
+  }
+}
+
+inline void scalar_hash4_bulk(const std::uint8_t* src, std::size_t count,
+                              int bits, std::uint32_t* out) {
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = hash_u32(load32(src + j), bits);
+  }
+}
+
+inline constexpr Kernels kScalarKernels{Isa::kScalar, scalar_match_length,
+                                        scalar_wild_copy, scalar_copy_match,
+                                        scalar_hash4_bulk};
+
+// ---------------------------------------------------------------------
+// x86: SSE2 baseline + AVX2 (runtime-detected, target-attributed so the
+// rest of the TU stays at the build's baseline ISA).
+// ---------------------------------------------------------------------
+#if STRATO_SIMD_X86
+
+inline std::size_t sse2_match_length(const std::uint8_t* a,
+                                     const std::uint8_t* b,
+                                     const std::uint8_t* limit) {
+  const std::uint8_t* start = a;
+  while (a + 16 <= limit) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    const std::uint32_t eq = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      return static_cast<std::size_t>(a - start) +
+             static_cast<std::size_t>(ctz32(~eq & 0xFFFFu));
+    }
+    a += 16;
+    b += 16;
+  }
+  return static_cast<std::size_t>(a - start) + scalar_match_length(a, b, limit);
+}
+
+inline void sse2_wild_copy(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t len) {
+  std::size_t i = 0;
+  do {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    i += 16;
+  } while (i < len);
+}
+
+inline void sse2_copy_match(std::uint8_t* dst, std::size_t dist,
+                            std::size_t len, std::uint8_t* wild_end) {
+  if (dst + len + 16 > wild_end) {
+    exact_copy_match(dst, dist, len);
+    return;
+  }
+  std::size_t pos = 0;
+  const std::size_t wide = widen_overlap(dst, dist, len, 16, &pos);
+  const std::uint8_t* src = dst - wide;
+  while (pos < len) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + pos),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + pos)));
+    pos += 16;
+  }
+}
+
+inline constexpr Kernels kSse2Kernels{Isa::kSse2, sse2_match_length,
+                                      sse2_wild_copy, sse2_copy_match,
+                                      scalar_hash4_bulk};
+
+__attribute__((target("avx2"))) inline std::size_t avx2_match_length(
+    const std::uint8_t* a, const std::uint8_t* b, const std::uint8_t* limit) {
+  const std::uint8_t* start = a;
+  while (a + 32 <= limit) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const std::uint32_t eq = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) {
+      return static_cast<std::size_t>(a - start) +
+             static_cast<std::size_t>(ctz32(~eq));
+    }
+    a += 32;
+    b += 32;
+  }
+  return static_cast<std::size_t>(a - start) + sse2_match_length(a, b, limit);
+}
+
+__attribute__((target("avx2"))) inline void avx2_wild_copy(
+    std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
+  std::size_t i = 0;
+  do {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    i += 32;
+  } while (i < len);
+}
+
+__attribute__((target("avx2"))) inline void avx2_copy_match(
+    std::uint8_t* dst, std::size_t dist, std::size_t len,
+    std::uint8_t* wild_end) {
+  if (dst + len + 32 > wild_end) {
+    exact_copy_match(dst, dist, len);
+    return;
+  }
+  std::size_t pos = 0;
+  const std::size_t wide = widen_overlap(dst, dist, len, 32, &pos);
+  const std::uint8_t* src = dst - wide;
+  while (pos < len) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + pos),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + pos)));
+    pos += 32;
+  }
+}
+
+/// 4 consecutive 4-byte windows per step: one 16-byte load covers bytes
+/// [j, j+7); an SSSE3 shuffle fans them out into the lanes {j..j+3},
+/// {j+1..j+4}, {j+2..j+5}, {j+3..j+6}, then a SIMD multiply + shift
+/// applies the multiplicative hash to all four at once. (AVX2 implies
+/// SSSE3/SSE4.1, so the 128-bit ops are safe inside this target.)
+__attribute__((target("avx2"))) inline void avx2_hash4_bulk(
+    const std::uint8_t* src, std::size_t count, int bits,
+    std::uint32_t* out) {
+  const __m128i mul = _mm_set1_epi32(static_cast<int>(2654435761u));
+  const __m128i fan = _mm_setr_epi8(0, 1, 2, 3, 1, 2, 3, 4,  //
+                                    2, 3, 4, 5, 3, 4, 5, 6);
+  const int shift = 32 - bits;
+  std::size_t j = 0;
+  // Each step's 8-byte load reads src[j .. j+7]; stopping at j + 5 <= count
+  // keeps the furthest read at src[count+2], the same bound the scalar
+  // tail needs (position count-1 reads src[count+2]).
+  for (; j + 5 <= count; j += 4) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + j));
+    const __m128i windows = _mm_shuffle_epi8(raw, fan);
+    const __m128i hashed =
+        _mm_srli_epi32(_mm_mullo_epi32(windows, mul), shift);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), hashed);
+  }
+  for (; j < count; ++j) out[j] = hash_u32(load32(src + j), bits);
+}
+
+inline constexpr Kernels kAvx2Kernels{Isa::kAvx2, avx2_match_length,
+                                      avx2_wild_copy, avx2_copy_match,
+                                      avx2_hash4_bulk};
+#endif  // STRATO_SIMD_X86
+
+// ---------------------------------------------------------------------
+// aarch64 NEON (baseline on that platform, no runtime probe needed).
+// ---------------------------------------------------------------------
+#if STRATO_SIMD_NEON
+
+inline std::size_t neon_match_length(const std::uint8_t* a,
+                                     const std::uint8_t* b,
+                                     const std::uint8_t* limit) {
+  const std::uint8_t* start = a;
+  while (a + 16 <= limit) {
+    const uint8x16_t va = vld1q_u8(a);
+    const uint8x16_t vb = vld1q_u8(b);
+    const uint8x16_t ne = veorq_u8(va, vb);
+    // Narrow the 128-bit compare to 64 bits (4 bits per byte lane), then
+    // ctz picks the first differing byte.
+    const std::uint64_t mask = vget_lane_u64(
+        vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(ne), 4)), 0);
+    if (mask != 0) {
+      return static_cast<std::size_t>(a - start) +
+             static_cast<std::size_t>(ctz64(mask) >> 2);
+    }
+    a += 16;
+    b += 16;
+  }
+  return static_cast<std::size_t>(a - start) + scalar_match_length(a, b, limit);
+}
+
+inline void neon_wild_copy(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t len) {
+  std::size_t i = 0;
+  do {
+    vst1q_u8(dst + i, vld1q_u8(src + i));
+    i += 16;
+  } while (i < len);
+}
+
+inline void neon_copy_match(std::uint8_t* dst, std::size_t dist,
+                            std::size_t len, std::uint8_t* wild_end) {
+  if (dst + len + 16 > wild_end) {
+    exact_copy_match(dst, dist, len);
+    return;
+  }
+  std::size_t pos = 0;
+  const std::size_t wide = widen_overlap(dst, dist, len, 16, &pos);
+  const std::uint8_t* src = dst - wide;
+  while (pos < len) {
+    vst1q_u8(dst + pos, vld1q_u8(src + pos));
+    pos += 16;
+  }
+}
+
+inline constexpr Kernels kNeonKernels{Isa::kNeon, neon_match_length,
+                                      neon_wild_copy, neon_copy_match,
+                                      scalar_hash4_bulk};
+#endif  // STRATO_SIMD_NEON
+
+/// Best kernel table this build + CPU supports.
+inline const Kernels& best_supported() {
+#if STRATO_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return kAvx2Kernels;
+  return kSse2Kernels;
+#elif STRATO_SIMD_NEON
+  return kNeonKernels;
+#else
+  return kScalarKernels;
+#endif
+}
+
+/// Table for an explicitly requested level; nullptr when this build/CPU
+/// cannot honor it.
+inline const Kernels* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarKernels;
+    case Isa::kSse2:
+#if STRATO_SIMD_X86
+      return &kSse2Kernels;
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx2:
+#if STRATO_SIMD_X86
+      return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if STRATO_SIMD_NEON
+      return &kNeonKernels;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// One-time initial dispatch: capability, then the STRATO_SIMD env
+/// override (OFF and scalar force the fallback; sse2/avx2/neon request a
+/// specific level and fall back to the best supported when unavailable).
+inline const Kernels& initial_dispatch() {
+  const char* env = std::getenv("STRATO_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const std::string_view v(env);
+    if (v == "OFF" || v == "off" || v == "0" || v == "scalar") {
+      return kScalarKernels;
+    }
+    const Kernels* forced = nullptr;
+    if (v == "sse2") forced = table_for(Isa::kSse2);
+    if (v == "avx2") forced = table_for(Isa::kAvx2);
+    if (v == "neon") forced = table_for(Isa::kNeon);
+    if (forced != nullptr) return *forced;
+  }
+  return best_supported();
+}
+
+inline std::atomic<const Kernels*>& active_table() {
+  static std::atomic<const Kernels*> table{&initial_dispatch()};
+  return table;
+}
+
+}  // namespace detail
+
+/// The dispatched kernel table. Cache the reference at block scope; the
+/// table never changes mid-run outside of test force_isa() calls.
+inline const Kernels& kernels() {
+  return *detail::active_table().load(std::memory_order_relaxed);
+}
+
+/// Best ISA this build + CPU can run (ignores env override / forcing).
+inline Isa detected_isa() { return detail::best_supported().isa; }
+
+/// Currently active ISA.
+inline Isa active_isa() { return kernels().isa; }
+
+/// Test hook: force a specific kernel table (e.g. scalar-vs-simd identity
+/// checks in one process). Returns false, leaving the dispatch unchanged,
+/// when this build/CPU cannot run `isa`. Not intended for concurrent use
+/// with in-flight compression.
+inline bool force_isa(Isa isa) {
+  const Kernels* t = detail::table_for(isa);
+  if (t == nullptr) return false;
+  detail::active_table().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+/// RAII forcing for tests: restores the previously active table.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa)
+      : prev_(&kernels()), ok_(force_isa(isa)) {}
+  ~ScopedIsa() { detail::active_table().store(prev_, std::memory_order_relaxed); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+  /// False when the requested ISA is unsupported (table left unchanged).
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  const Kernels* prev_;
+  bool ok_;
+};
+
+}  // namespace strato::common::simd

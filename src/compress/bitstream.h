@@ -9,6 +9,11 @@
 namespace strato::compress {
 
 /// Appends bits least-significant-first into a byte vector.
+///
+/// Bits accumulate in a 64-bit register and spill four bytes at a time:
+/// with write() capped at 32 bits, filled_ stays below 32 after each
+/// spill, so the accumulator never overflows, and the output sees one
+/// word store per ~4 emitted bytes instead of a push_back per byte.
 class BitWriter {
  public:
   explicit BitWriter(common::Bytes& out) : out_(out) {}
@@ -17,20 +22,24 @@ class BitWriter {
   void write(std::uint32_t value, int nbits) {
     acc_ |= static_cast<std::uint64_t>(value & mask(nbits)) << filled_;
     filled_ += nbits;
-    while (filled_ >= 8) {
+    if (filled_ >= 32) {
+      const std::size_t sz = out_.size();
+      out_.resize(sz + 4);
+      common::store_le32(out_.data() + sz, static_cast<std::uint32_t>(acc_));
+      acc_ >>= 32;
+      filled_ -= 32;
+    }
+  }
+
+  /// Flush the remaining whole and partial bytes (zero-padded).
+  void finish() {
+    while (filled_ > 0) {
       out_.push_back(static_cast<std::uint8_t>(acc_));
       acc_ >>= 8;
       filled_ -= 8;
     }
-  }
-
-  /// Flush the final partial byte (zero-padded).
-  void finish() {
-    if (filled_ > 0) {
-      out_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ = 0;
-      filled_ = 0;
-    }
+    acc_ = 0;
+    filled_ = 0;
   }
 
  private:
@@ -46,13 +55,19 @@ class BitWriter {
 /// Reads bits least-significant-first from a span. Reading past the end
 /// yields zero bits (trailing padding); structural errors are caught by
 /// the caller's symbol/length validation.
+///
+/// Refill is branchless while at least 8 input bytes remain: one
+/// unaligned 64-bit little-endian load tops the accumulator up to >= 56
+/// bits, and the cursor advances by exactly the number of whole bytes
+/// that fit — no per-byte loop, no data-dependent branches. Every
+/// read/peek of up to 32 bits is covered by one refill.
 class BitReader {
  public:
   explicit BitReader(common::ByteSpan in) : in_(in) {}
 
   /// Read `nbits` bits (nbits <= 32).
   std::uint32_t read(int nbits) {
-    fill(nbits);
+    if (filled_ < nbits) fill();
     const auto v = static_cast<std::uint32_t>(
         acc_ & ((nbits >= 32 ? ~0ULL : ((1ULL << nbits) - 1))));
     acc_ >>= nbits;
@@ -60,9 +75,9 @@ class BitReader {
     return v;
   }
 
-  /// Peek up to `nbits` bits without consuming.
+  /// Peek up to `nbits` bits without consuming (nbits <= 32).
   std::uint32_t peek(int nbits) {
-    fill(nbits);
+    if (filled_ < nbits) fill();
     return static_cast<std::uint32_t>(
         acc_ & ((nbits >= 32 ? ~0ULL : ((1ULL << nbits) - 1))));
   }
@@ -73,17 +88,31 @@ class BitReader {
     filled_ -= nbits;
   }
 
-  /// Bytes consumed from the input so far (including buffered bits).
+  /// Bytes fetched from the input so far (including buffered bits).
   [[nodiscard]] std::size_t consumed() const { return pos_; }
 
  private:
-  void fill(int nbits) {
-    while (filled_ < nbits) {
-      const std::uint64_t byte = pos_ < in_.size() ? in_[pos_] : 0;
-      ++pos_;
-      acc_ |= byte << filled_;
+  /// Top the accumulator up to >= 56 bits. Callers gate on filled_ so the
+  /// common already-full probe pays one compare, and a single refill then
+  /// covers several 10-bit LUT probes.
+  void fill() {
+    if (pos_ + 8 <= in_.size()) {
+      // The load overlaps the filled_/8 bytes already buffered; shifting
+      // by filled_ drops exactly those, and the cursor advances by the
+      // (63 - filled_) >> 3 fresh bytes that fit. filled_ |= 56 lands on
+      // filled_ + 8 * bytes_consumed without computing it.
+      acc_ |= common::load_le64(in_.data() + pos_) << filled_;
+      pos_ += static_cast<std::size_t>((63 - filled_) >> 3);
+      filled_ |= 56;
+      return;
+    }
+    while (filled_ < 56 && pos_ < in_.size()) {
+      acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << filled_;
       filled_ += 8;
     }
+    // Exhausted input: the high accumulator bits are already zero, so
+    // declaring them present yields the documented zero padding.
+    if (filled_ < 56) filled_ = 56;
   }
 
   common::ByteSpan in_;

@@ -4,11 +4,14 @@
 #include <cstring>
 #include <vector>
 
+#include "common/simd.h"
 #include "compress/huffman.h"
 #include "compress/lz77.h"
 
 namespace strato::compress {
 namespace {
+
+namespace simd = common::simd;
 
 constexpr std::size_t kMinMatch = 4;
 // Literal/length alphabet: 256 literals + 18 length slots + EOB.
@@ -186,13 +189,24 @@ std::size_t DeflateLz::decompress(common::ByteSpan src,
   std::vector<std::uint8_t> dist_lengths(kDistAlphabet);
   for (auto& l : lit_lengths) l = static_cast<std::uint8_t>(br.read(4));
   for (auto& l : dist_lengths) l = static_cast<std::uint8_t>(br.read(4));
-  const HuffmanDecoder lit_dec(lit_lengths);
+  // Literals carry no extra bits, so any symbol < 256 may lead a
+  // two-symbol LUT pair; length slots and EOB may not (their extra bits /
+  // loop exit sit between the codes).
+  const HuffmanDecoder lit_dec(lit_lengths, /*pair_limit=*/256);
   const HuffmanDecoder dist_dec(dist_lengths);
+  const simd::Kernels& kernels = simd::kernels();
 
   std::uint8_t* out = dst.data();
   std::uint8_t* const out_end = out + dst.size();
   for (;;) {
-    const std::uint32_t sym = lit_dec.decode(br);
+    const HuffmanDecoder::Pair pair = lit_dec.decode2(br);
+    std::uint32_t sym = pair.first;
+    if (pair.second >= 0) {
+      // Paired probe: the first symbol is guaranteed to be a literal.
+      if (out >= out_end) throw CodecError("deflatelz: output overrun");
+      *out++ = static_cast<std::uint8_t>(sym);
+      sym = static_cast<std::uint32_t>(pair.second);
+    }
     if (sym == kEob) break;
     if (sym < 256) {
       if (out >= out_end) throw CodecError("deflatelz: output overrun");
@@ -217,8 +231,9 @@ std::size_t DeflateLz::decompress(common::ByteSpan src,
     if (len > static_cast<std::size_t>(out_end - out)) {
       throw CodecError("deflatelz: match overrun");
     }
-    const std::uint8_t* from = out - offset;
-    for (std::size_t i = 0; i < len; ++i) out[i] = from[i];
+    // Overlap-correct for any offset >= 1; exact copy within kWildCopyPad
+    // of the block end (decode buffers are exact-size).
+    kernels.copy_match(out, offset, len, out_end);
     out += len;
   }
   if (out != out_end) throw CodecError("deflatelz: short output");

@@ -6,17 +6,25 @@
 #include <memory>
 #include <vector>
 
+#include "common/simd.h"
 #include "compress/lz_common.h"
 #include "compress/range_coder.h"
+#include "compress/suffix_match.h"
 
 namespace strato::compress {
 namespace {
+
+namespace simd = common::simd;
 
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxLen = 259;        // kMinMatch + 255 (8-bit tree)
 constexpr std::size_t kMaxDist = (1u << 24) - 1;
 constexpr int kHashBits = 17;
 constexpr int kChainDepth = 96;
+// Stop the chain walk once a match this long is found: the serial
+// prev-pointer chase is the dominant encode cost, and a 128-byte match is
+// almost never displaced by a longer one further down the chain.
+constexpr std::size_t kNiceLen = 96;
 
 constexpr std::uint8_t kMarkerCoded = 0;
 constexpr std::uint8_t kMarkerStored = 1;
@@ -56,12 +64,15 @@ struct Match {
 
 /// Deep hash-chain match finder over the whole block. Chain arrays come
 /// from the per-thread MatchScratch (no allocation per block); the prefix
-/// scan is word-at-a-time (lz_match_length) instead of byte-at-a-time,
-/// which is where the deep-chain HEAVY search spends most of its time.
+/// scan is the dispatched simd match_length kernel instead of
+/// byte-at-a-time, which is where the deep-chain HEAVY search spends most
+/// of its time.
 class ChainFinder {
  public:
-  ChainFinder(common::ByteSpan src, detail::MatchScratch& scratch)
-      : src_(src.data()), n_(src.size()), scratch_(scratch) {
+  ChainFinder(common::ByteSpan src, detail::MatchScratch& scratch,
+              const simd::Kernels& kernels)
+      : src_(src.data()), n_(src.size()), scratch_(scratch),
+        kernels_(kernels) {
     scratch_.prepare(kHashBits, src.size());
   }
 
@@ -69,17 +80,29 @@ class ChainFinder {
     Match best;
     if (i + kMinMatch > n_) return best;
     const std::uint8_t* limit = src_ + n_;
-    std::uint32_t cand = scratch_.head[hash32(load_tail(i))];
+    // i + kMinMatch <= n_ makes the 4-byte loads below safe (c < i).
+    const std::uint32_t cur = common::load_u32(src_ + i);
+    std::uint32_t cand = scratch_.head[hash32(cur)];
     int depth = kChainDepth;
     while (cand != detail::kLzNoPos && depth-- > 0) {
       const std::size_t c = cand;
       if (i - c > kMaxDist) break;
-      const std::size_t len =
-          detail::lz_match_length(src_ + i, src_ + c, limit);
-      if (len >= kMinMatch && len > best.len) {
-        best.len = len;
-        best.dist = i - c;
-        if (len >= kMaxLen) break;  // long enough, stop searching
+      // Cheap rejects before the full prefix scan: a candidate must
+      // match at offset best.len to beat the best (exact — a mismatch
+      // there caps its prefix at best.len) and must match the first four
+      // bytes to reach kMinMatch at all. The best.len probe stays
+      // in-bounds because the loop exits once best spans to the block
+      // end.
+      if (src_[c + best.len] == src_[i + best.len] &&
+          common::load_u32(src_ + c) == cur) {
+        const std::size_t len =
+            kernels_.match_length(src_ + i, src_ + c, limit);
+        if (len > best.len) {
+          best.len = len;
+          best.dist = i - c;
+          if (len >= kNiceLen) break;  // long enough, stop searching
+          if (i + len >= n_) break;    // spans to block end; unbeatable
+        }
       }
       cand = scratch_.prev[c];
     }
@@ -94,6 +117,32 @@ class ChainFinder {
     scratch_.head[h] = static_cast<std::uint32_t>(i);
   }
 
+  /// insert() for every position in [begin, end), bulk-hashing the run in
+  /// one kernel pass. Positions within kMinMatch - 1 of the block end are
+  /// skipped exactly as insert() skips them.
+  void insert_range(std::size_t begin, std::size_t end) {
+    const std::size_t cap = n_ >= kMinMatch ? n_ - (kMinMatch - 1) : 0;
+    end = std::min(end, cap);
+    if (end <= begin) return;
+    const std::size_t count = end - begin;
+    if (count < 16) {
+      // Bulk staging doesn't pay for itself on short runs.
+      for (std::size_t j = begin; j < end; ++j) insert(j);
+      return;
+    }
+    auto& tmp = scratch_.hash_tmp;
+    if (tmp.size() < count) tmp.resize(count);
+    kernels_.hash4_bulk(src_ + begin, count, kHashBits, tmp.data());
+    for (std::size_t j = 0; j < count; ++j) {
+      // Staged hashes expose the head-table indices ahead of time;
+      // prefetch hides the random-index line fetch.
+      if (j + 8 < count) __builtin_prefetch(&scratch_.head[tmp[j + 8]]);
+      const std::uint32_t h = tmp[j];
+      scratch_.prev[begin + j] = scratch_.head[h];
+      scratch_.head[h] = static_cast<std::uint32_t>(begin + j);
+    }
+  }
+
  private:
   /// 4-byte load that is safe near the end of the block.
   std::uint32_t load_tail(std::size_t i) const {
@@ -106,7 +155,39 @@ class ChainFinder {
   const std::uint8_t* src_;
   std::size_t n_;
   detail::MatchScratch& scratch_;
+  const simd::Kernels& kernels_;
 };
+
+/// The HEAVY symbol loop, generic over match finding. `find(i)` returns
+/// the match to take at i (len < kMinMatch means literal); `advance(i,
+/// len, is_match)` lets stateful finders register consumed positions (the
+/// suffix-array finder has no such bookkeeping).
+template <typename FindFn, typename AdvanceFn>
+void encode_symbols(common::ByteSpan src, RangeEncoder& enc, Models& models,
+                    FindFn&& find, AdvanceFn&& advance) {
+  std::size_t i = 0;
+  std::uint32_t prev_byte = 0;
+  std::uint32_t last_was_match = 0;
+  while (i < src.size()) {
+    const Match m = find(i);
+    if (m.len >= kMinMatch) {
+      enc.encode_bit(models.is_match[last_was_match], 1);
+      models.length.encode(enc, static_cast<std::uint32_t>(m.len - kMinMatch));
+      encode_distance(enc, models, static_cast<std::uint32_t>(m.dist));
+      advance(i, m.len, true);
+      i += m.len;
+      prev_byte = src[i - 1];
+      last_was_match = 1;
+    } else {
+      enc.encode_bit(models.is_match[last_was_match], 0);
+      models.literal[prev_byte >> 5].encode(enc, src[i]);
+      advance(i, 1, false);
+      prev_byte = src[i];
+      ++i;
+      last_was_match = 0;
+    }
+  }
+}
 
 }  // namespace
 
@@ -122,29 +203,27 @@ std::size_t HeavyLz::compress(common::ByteSpan src,
 
   RangeEncoder enc;
   auto models = std::make_unique<Models>();
-  ChainFinder finder(src, detail::match_scratch());
-
-  std::size_t i = 0;
-  std::uint32_t prev_byte = 0;
-  std::uint32_t last_was_match = 0;
-  while (i < src.size()) {
-    Match m = finder.find(i);
-    if (m.len >= kMinMatch) {
-      enc.encode_bit(models->is_match[last_was_match], 1);
-      models->length.encode(enc, static_cast<std::uint32_t>(m.len - kMinMatch));
-      encode_distance(enc, *models, static_cast<std::uint32_t>(m.dist));
-      for (std::size_t j = i; j < i + m.len; ++j) finder.insert(j);
-      i += m.len;
-      prev_byte = src[i - 1];
-      last_was_match = 1;
-    } else {
-      enc.encode_bit(models->is_match[last_was_match], 0);
-      models->literal[prev_byte >> 5].encode(enc, src[i]);
-      finder.insert(i);
-      prev_byte = src[i];
-      ++i;
-      last_was_match = 0;
-    }
+  if (finder_ == HeavyFinder::kSuffixArray) {
+    SuffixMatcher matcher;
+    matcher.build(src);
+    encode_symbols(
+        src, enc, *models,
+        [&](std::size_t i) {
+          const SuffixMatcher::Match m = matcher.find(i, kMaxLen, kMaxDist);
+          return Match{m.len, m.dist};
+        },
+        [](std::size_t, std::size_t, bool) {});
+  } else {
+    ChainFinder finder(src, detail::match_scratch(), simd::kernels());
+    encode_symbols(
+        src, enc, *models, [&](std::size_t i) { return finder.find(i); },
+        [&](std::size_t i, std::size_t len, bool is_match) {
+          if (is_match) {
+            finder.insert_range(i, i + len);
+          } else {
+            finder.insert(i);
+          }
+        });
   }
   enc.finish();
 
@@ -177,6 +256,7 @@ std::size_t HeavyLz::decompress(common::ByteSpan src,
 
   RangeDecoder dec(body);
   auto models = std::make_unique<Models>();
+  const simd::Kernels& kernels = simd::kernels();
   std::uint8_t* out = dst.data();
   std::uint8_t* const out_end = out + dst.size();
   std::uint32_t prev_byte = 0;
@@ -192,8 +272,9 @@ std::size_t HeavyLz::decompress(common::ByteSpan src,
       if (len > static_cast<std::size_t>(out_end - out)) {
         throw CodecError("heavylz: match overrun");
       }
-      const std::uint8_t* from = out - dist;
-      for (std::size_t k = 0; k < len; ++k) out[k] = from[k];
+      // Overlap-correct for any dist >= 1; exact copy within kWildCopyPad
+      // of the block end (decode buffers are exact-size).
+      kernels.copy_match(out, dist, len, out_end);
       out += len;
       prev_byte = out[-1];
       last_was_match = 1;

@@ -121,7 +121,8 @@ HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
   }
 }
 
-HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths,
+                               std::uint32_t pair_limit)
     : table_(std::size_t{1} << kHuffmanLutBits) {
   std::uint32_t bl_count[kMaxHuffmanBits + 1] = {};
   std::uint64_t kraft = 0;
@@ -164,8 +165,30 @@ HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths)
     const std::size_t step = std::size_t{1} << len;
     for (std::size_t i = base; i < table_.size(); i += step) {
       table_[i] = {static_cast<std::uint16_t>(s),
-                   static_cast<std::uint8_t>(len)};
+                   static_cast<std::uint8_t>(len), 0, 0};
     }
+  }
+
+  if (pair_limit == 0) return;
+  // Pairing pass: a window whose first code is short and pairable
+  // (symbol < pair_limit, so no raw extra bits can sit between the
+  // codes) may contain a second complete code in its remaining bits.
+  // The stream is LSB-first, so the remaining bits are window >> length;
+  // that sub-window indexes the same table, and the entry found there is
+  // the true next code exactly when it fits the bits actually known
+  // (length + length2 <= window width) — prefix-freeness makes the
+  // zero-filled high index bits irrelevant for a code that fits.
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    Entry& e = table_[i];
+    if (e.length == 0 || e.symbol >= pair_limit) continue;
+    const Entry& e2 = table_[i >> e.length];
+    if (e2.length == 0 ||
+        static_cast<int>(e.length) + static_cast<int>(e2.length) >
+            kHuffmanLutBits) {
+      continue;
+    }
+    e.pair_length = static_cast<std::uint8_t>(e.length + e2.length);
+    e.symbol2 = e2.symbol;
   }
 }
 

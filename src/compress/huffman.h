@@ -59,11 +59,22 @@ class HuffmanEncoder {
 /// longer than the window fall back to a canonical first-code walk
 /// (slow-path entry decode(), cold by construction — long codes are rare
 /// symbols).
+///
+/// With a nonzero `pair_limit` the table additionally resolves TWO
+/// symbols per probe whenever the window contains two complete short
+/// codes and the first symbol is below pair_limit. The limit exists
+/// because the bit stream may interleave raw extra bits after some
+/// symbols (DEFLATE length slots): the second code only sits directly
+/// after the first in the window when the first symbol carries no extra
+/// bits, which the caller guarantees for symbols < pair_limit. The
+/// second symbol of a pair may be anything — its own extra bits follow
+/// the pair's code bits in the stream either way.
 class HuffmanDecoder {
  public:
   /// @throws CodecError when the length array is not a valid (sub-)Kraft
   /// code.
-  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths,
+                          std::uint32_t pair_limit = 0);
 
   /// Decode the next symbol. @throws CodecError on an invalid code.
   std::uint32_t decode(BitReader& br) const {
@@ -75,6 +86,26 @@ class HuffmanDecoder {
     return decode_long(br);
   }
 
+  /// One or two symbols from a single table probe. `second` is >= 0 only
+  /// when a pair resolved (requires a nonzero pair_limit at construction;
+  /// the first symbol of a pair is always < pair_limit).
+  struct Pair {
+    std::uint32_t first;
+    std::int32_t second;  // -1 = no second symbol this probe
+  };
+  Pair decode2(BitReader& br) const {
+    const Entry e = table_[br.peek(kHuffmanLutBits)];
+    if (e.pair_length != 0) {
+      br.skip(e.pair_length);
+      return {e.symbol, e.symbol2};
+    }
+    if (e.length != 0) {
+      br.skip(e.length);
+      return {e.symbol, -1};
+    }
+    return {decode_long(br), -1};
+  }
+
  private:
   /// Canonical MSB-first walk for codes longer than the LUT window (and
   /// the CodecError for windows no code occupies).
@@ -82,9 +113,13 @@ class HuffmanDecoder {
 
   // Fast path: kHuffmanLutBits-bit window -> (symbol, len) for every code
   // of length <= kHuffmanLutBits; length 0 = fall back to the walk.
+  // pair_length != 0 marks windows holding two complete codes (symbol
+  // then symbol2, pair_length bits together).
   struct Entry {
     std::uint16_t symbol = 0;
     std::uint8_t length = 0;
+    std::uint8_t pair_length = 0;
+    std::uint16_t symbol2 = 0;
   };
   std::vector<Entry> table_;
   // Walk tables, indexed by code length: first canonical code, number of

@@ -4,27 +4,42 @@
 #include <cstring>
 #include <vector>
 
+#include "common/simd.h"
 #include "compress/lz_common.h"
 
 namespace strato::compress {
 namespace {
 
+namespace simd = common::simd;
+
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxOffset = 65535;
 // The final kTailLiterals bytes of a block are always literals; match
 // search stops kMatchGuard before the end so forward extension can use
-// word-at-a-time compares without running past the buffer.
+// wide compares without running past the buffer.
 constexpr std::size_t kTailLiterals = 5;
 constexpr std::size_t kMatchGuard = 12;
+// Parse heuristics: stop the chain walk once a match reaches kNiceLen
+// (the serial prev-pointer chase is the dominant search cost and such a
+// match is almost never displaced), and skip the lazy one-ahead search
+// when the current match is already kLazyCutoff or longer (a strictly
+// better match one byte later would have to beat it by 2, which long
+// matches essentially never see).
+constexpr std::size_t kNiceLen = 64;
+constexpr std::size_t kLazyCutoff = 32;
 
 using detail::kLzNoPos;
 using detail::lz_hash32;
-using detail::lz_match_length;
 
-/// Output cursor with LZ4-style token emission.
+/// Output cursor with LZ4-style token emission. Literal runs whose source
+/// has kWildCopyPad bytes of in-buffer margin go through the wild-copy
+/// kernel (full-register strides); the destination always has margin
+/// because lz77_max_compressed_size over-allocates by kWildCopyPad + 16.
 class SeqWriter {
  public:
-  explicit SeqWriter(common::MutableByteSpan dst) : dst_(dst) {}
+  SeqWriter(common::MutableByteSpan dst, const std::uint8_t* src_end,
+            const simd::Kernels& kernels)
+      : dst_(dst), src_end_(src_end), kernels_(kernels) {}
 
   /// Emit one sequence: literals [lit, lit+lit_len) followed by a match of
   /// `match_len` (0 = final literal-only sequence) at distance `offset`.
@@ -36,8 +51,19 @@ class SeqWriter {
     token |= static_cast<std::uint8_t>(std::min<std::size_t>(ml_code, 15));
     put(token);
     if (lit_len >= 15) put_ext(lit_len - 15);
-    std::memcpy(dst_.data() + pos_, lit, lit_len);
-    pos_ += lit_len;
+    if (lit_len != 0) {
+      std::uint8_t* d = dst_.data() + pos_;
+      if (lit + lit_len + simd::kWildCopyPad <= src_end_) {
+        if (lit_len <= 16) {
+          std::memcpy(d, lit, 16);  // wild fixed-size copy, inlined
+        } else {
+          kernels_.wild_copy(d, lit, lit_len);
+        }
+      } else {
+        std::memcpy(d, lit, lit_len);
+      }
+      pos_ += lit_len;
+    }
     if (match_len == 0) return;
     common::store_le16(dst_.data() + pos_, static_cast<std::uint16_t>(offset));
     pos_ += 2;
@@ -57,6 +83,8 @@ class SeqWriter {
   }
 
   common::MutableByteSpan dst_;
+  const std::uint8_t* src_end_;
+  const simd::Kernels& kernels_;
   std::size_t pos_ = 0;
 };
 
@@ -71,12 +99,13 @@ struct Match {
 class MatchFinder {
  public:
   MatchFinder(common::ByteSpan src, const Lz77Params& p,
-              detail::MatchScratch& scratch)
+              detail::MatchScratch& scratch, const simd::Kernels& kernels)
       : src_(src.data()),
         n_(src.size()),
         params_(p),
         use_chain_(p.chain_depth > 0),
-        scratch_(scratch) {
+        scratch_(scratch),
+        kernels_(kernels) {
     scratch_.prepare(p.hash_bits, use_chain_ ? src.size() : 0);
   }
 
@@ -88,15 +117,23 @@ class MatchFinder {
     Match best;
     const std::uint8_t* limit = src_ + n_ - kTailLiterals;
     int depth = std::max(1, params_.chain_depth);
+    const std::uint32_t cur = common::load_u32(src_ + i);
     while (cand != kLzNoPos && depth-- > 0) {
       const std::size_t c = cand;
       if (i - c > kMaxOffset) break;
-      if (common::load_u32(src_ + c) == common::load_u32(src_ + i)) {
+      // A candidate can only beat `best` if it extends past best.len, so
+      // one byte there rejects most of the chain without a full scan
+      // (exact: a mismatch at best.len caps the prefix at best.len).
+      // best.len never exceeds limit - (src_ + i), so the probe is
+      // in-bounds.
+      if (src_[c + best.len] == src_[i + best.len] &&
+          common::load_u32(src_ + c) == cur) {
         const std::size_t len =
-            lz_match_length(src_ + i, src_ + c, limit);
+            kernels_.match_length(src_ + i, src_ + c, limit);
         if (len >= kMinMatch && len > best.len) {
           best.len = len;
           best.offset = i - c;
+          if (len >= kNiceLen) break;  // long enough, stop searching
         }
       }
       if (!use_chain_) break;
@@ -113,12 +150,46 @@ class MatchFinder {
     scratch_.head[h] = static_cast<std::uint32_t>(i);
   }
 
+  /// Register every position in [begin, end): hash the whole run in one
+  /// bulk-kernel pass, then do the (serial by nature) chain-pointer
+  /// updates. Identical to calling insert() for each position in
+  /// ascending order. Requires end + 3 <= n (4-byte loads).
+  void insert_range(std::size_t begin, std::size_t end) {
+    if (end <= begin) return;
+    const std::size_t count = end - begin;
+    if (count < 16) {
+      // Bulk staging doesn't pay for itself on short runs.
+      for (std::size_t j = begin; j < end; ++j) insert(j);
+      return;
+    }
+    auto& tmp = scratch_.hash_tmp;
+    if (tmp.size() < count) tmp.resize(count);
+    kernels_.hash4_bulk(src_ + begin, count, params_.hash_bits, tmp.data());
+    if (use_chain_) {
+      for (std::size_t j = 0; j < count; ++j) {
+        // The staged hashes make the head-table access pattern visible a
+        // few iterations ahead; prefetching hides the (random-index)
+        // table line fetch behind the serial chain updates.
+        if (j + 8 < count) __builtin_prefetch(&scratch_.head[tmp[j + 8]]);
+        const std::uint32_t h = tmp[j];
+        scratch_.prev[begin + j] = scratch_.head[h];
+        scratch_.head[h] = static_cast<std::uint32_t>(begin + j);
+      }
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        if (j + 8 < count) __builtin_prefetch(&scratch_.head[tmp[j + 8]]);
+        scratch_.head[tmp[j]] = static_cast<std::uint32_t>(begin + j);
+      }
+    }
+  }
+
  private:
   const std::uint8_t* src_;
   std::size_t n_;
   Lz77Params params_;
   bool use_chain_;
   detail::MatchScratch& scratch_;
+  const simd::Kernels& kernels_;
 };
 
 }  // namespace
@@ -132,7 +203,8 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
                                        std::size_t history_len,
                                        common::MutableByteSpan dst,
                                        const Lz77Params& params) {
-  SeqWriter out(dst);
+  const simd::Kernels& kernels = simd::kernels();
+  SeqWriter out(dst, buffer.data() + buffer.size(), kernels);
   const std::size_t n = buffer.size();
   const std::size_t h = std::min(history_len, n);
   const std::size_t block = n - h;
@@ -141,12 +213,12 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
     return out.written();
   }
 
-  MatchFinder finder(buffer, params, detail::match_scratch());
+  MatchFinder finder(buffer, params, detail::match_scratch(), kernels);
   // Pre-warm the hash structures with the retained window so matches can
   // reach back into previous blocks.
   if (h > 0 && n >= 4) {
     const std::size_t warm_end = std::min(h, n - 3);
-    for (std::size_t j = 0; j < warm_end; ++j) finder.insert(j);
+    finder.insert_range(0, warm_end);
   }
   const std::size_t search_end = n - kMatchGuard;
   std::size_t anchor = h;
@@ -154,8 +226,17 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
   std::size_t misses = 0;
   const common::ByteSpan src = buffer;
 
+  Match carried;  // lazy step's find(i + 1), reused as the next find(i)
+  bool have_carried = false;
+
   while (i < search_end) {
-    Match m = finder.find(i);
+    Match m;
+    if (have_carried) {
+      m = carried;
+      have_carried = false;
+    } else {
+      m = finder.find(i);
+    }
     finder.insert(i);
     if (m.len == 0) {
       // Skip acceleration: advance faster the longer we fail to match.
@@ -164,11 +245,16 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
       continue;
     }
     // Lazy matching: if the next position has a strictly better match,
-    // emit this byte as a literal instead.
-    if (params.lazy && i + 1 < search_end) {
+    // emit this byte as a literal instead. The search result carries over
+    // to the next iteration verbatim: i is already inserted and i + 1 is
+    // not until the next iteration runs, so repeating find(i + 1) there
+    // would walk identical chains.
+    if (params.lazy && m.len < kLazyCutoff && i + 1 < search_end) {
       Match m2 = finder.find(i + 1);
       if (m2.len > m.len + 1) {
         ++i;
+        carried = m2;
+        have_carried = true;
         continue;  // i+1 gets inserted on the next loop iteration
       }
     }
@@ -183,7 +269,7 @@ std::size_t lz77_compress_with_history(common::ByteSpan buffer,
     // into it (cheap partial insertion keeps the fast path fast).
     const std::size_t match_end = std::min(i + m.len, search_end);
     if (params.chain_depth > 0) {
-      for (std::size_t j = i + 1; j < match_end; ++j) finder.insert(j);
+      finder.insert_range(i + 1, match_end);
     } else if (i + 2 < match_end) {
       finder.insert(i + 2);
     }
@@ -206,6 +292,7 @@ std::size_t lz77_decompress_with_history(common::ByteSpan src,
   if (history_len + raw_size > buffer.size()) {
     throw CodecError("lz77: history buffer too small");
   }
+  const simd::Kernels& kernels = simd::kernels();
   const std::uint8_t* in = src.data();
   const std::uint8_t* in_end = in + src.size();
   std::uint8_t* const base = buffer.data();
@@ -237,9 +324,22 @@ std::size_t lz77_decompress_with_history(common::ByteSpan src,
         lit_len > static_cast<std::size_t>(out_end - out)) {
       throw CodecError("lz77: literal overrun");
     }
-    std::memcpy(out, in, lit_len);
-    in += lit_len;
-    out += lit_len;
+    if (lit_len != 0) {
+      // Wild literal copy when both the compressed input (read side) and
+      // the block (write side) have a full pad of margin; the garbage
+      // written past out + lit_len is overwritten by the next sequence
+      // before anything can observe it.
+      if (lit_len + simd::kWildCopyPad <=
+              static_cast<std::size_t>(in_end - in) &&
+          lit_len + simd::kWildCopyPad <=
+              static_cast<std::size_t>(out_end - out)) {
+        kernels.wild_copy(out, in, lit_len);
+      } else {
+        std::memcpy(out, in, lit_len);
+      }
+      in += lit_len;
+      out += lit_len;
+    }
     if (in == in_end) break;  // final literal-only sequence
 
     if (in + 2 > in_end) throw CodecError("lz77: truncated offset");
@@ -254,22 +354,9 @@ std::size_t lz77_decompress_with_history(common::ByteSpan src,
     if (match_len > static_cast<std::size_t>(out_end - out)) {
       throw CodecError("lz77: match overrun");
     }
-    const std::uint8_t* from = out - offset;
-    if (offset >= 8) {
-      // Non-overlapping (w.r.t. 8-byte strides) fast copy.
-      std::uint8_t* d = out;
-      const std::uint8_t* s = from;
-      std::size_t rem = match_len;
-      while (rem >= 8) {
-        std::memcpy(d, s, 8);
-        d += 8;
-        s += 8;
-        rem -= 8;
-      }
-      while (rem--) *d++ = *s++;
-    } else {
-      for (std::size_t k = 0; k < match_len; ++k) out[k] = from[k];
-    }
+    // Overlap-correct for any offset >= 1 (overlap-widening inside the
+    // kernel); degrades to an exact copy within kWildCopyPad of out_end.
+    kernels.copy_match(out, offset, match_len, out_end);
     out += match_len;
   }
   if (out != out_end) throw CodecError("lz77: short output");

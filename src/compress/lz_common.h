@@ -1,12 +1,14 @@
 // Shared LZ match-finding primitives (internal to the compress module).
 //
 // Both hash-chain match finders (the LIGHT/MEDIUM engine in lz77.cc and the
-// HEAVY finder in heavy_lz.cc) share the multiplicative hash, the
-// word-at-a-time common-prefix scan and — the hot-path win — a per-thread
-// scratch holding the head/prev chain arrays. Allocating those arrays per
-// 128 KB block used to cost a 64–512 KB allocation plus fresh-page faults
-// per block; with the scratch each compression thread (the caller, or each
-// parallel-pipeline worker) touches the same warm memory block after block.
+// HEAVY finder in heavy_lz.cc) share the multiplicative hash and — the
+// hot-path win — a per-thread scratch holding the head/prev chain arrays.
+// Allocating those arrays per 128 KB block used to cost a 64–512 KB
+// allocation plus fresh-page faults per block; with the scratch each
+// compression thread (the caller, or each parallel-pipeline worker) touches
+// the same warm memory block after block. The common-prefix scan lives in
+// common/simd.h (simd::kernels().match_length) so it can use the widest
+// compare the host supports.
 #pragma once
 
 #include <cstddef>
@@ -19,32 +21,11 @@ namespace strato::compress::detail {
 
 inline constexpr std::uint32_t kLzNoPos = 0xFFFFFFFFu;
 
-/// Multiplicative hash of a 4-byte window into `bits` bits.
+/// Multiplicative hash of a 4-byte window into `bits` bits. Must agree
+/// with simd::Kernels::hash4_bulk, which computes the same function for a
+/// run of positions at once.
 inline std::uint32_t lz_hash32(std::uint32_t v, int bits) {
   return (v * 2654435761u) >> (32 - bits);
-}
-
-/// Length of the common prefix of [a..limit) and [b..), a > b,
-/// word-at-a-time. Safe because b < a implies b + 8 <= limit whenever
-/// a + 8 <= limit.
-inline std::size_t lz_match_length(const std::uint8_t* a,
-                                   const std::uint8_t* b,
-                                   const std::uint8_t* limit) {
-  const std::uint8_t* start = a;
-  while (a + 8 <= limit) {
-    const std::uint64_t diff = common::load_u64(a) ^ common::load_u64(b);
-    if (diff != 0) {
-      return static_cast<std::size_t>(a - start) +
-             static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
-    }
-    a += 8;
-    b += 8;
-  }
-  while (a < limit && *a == *b) {
-    ++a;
-    ++b;
-  }
-  return static_cast<std::size_t>(a - start);
 }
 
 /// Reused head/prev arrays for hash-chain match finders. prepare() clears
@@ -54,6 +35,10 @@ inline std::size_t lz_match_length(const std::uint8_t* a,
 struct MatchScratch {
   std::vector<std::uint32_t> head;
   std::vector<std::uint32_t> prev;
+  /// Staging buffer for simd::Kernels::hash4_bulk (pre-warm and in-match
+  /// insertion runs hash all their positions in one pass, then do the
+  /// chain-pointer updates serially).
+  std::vector<std::uint32_t> hash_tmp;
 
   /// Size + clear head for a 2^hash_bits table; ensure prev covers n
   /// positions (pass n = 0 for single-probe finders that keep no chains).

@@ -2,37 +2,6 @@
 
 namespace strato::compress {
 
-namespace {
-constexpr std::uint32_t kTop = 1u << 24;
-}
-
-void RangeEncoder::encode_bit(BitModel& m, std::uint32_t bit) {
-  const std::uint32_t bound = (range_ >> BitModel::kBits) * m.prob();
-  if (bit == 0) {
-    range_ = bound;
-    m.update_0();
-  } else {
-    low_ += bound;
-    range_ -= bound;
-    m.update_1();
-  }
-  while (range_ < kTop) {
-    shift_low();
-    range_ <<= 8;
-  }
-}
-
-void RangeEncoder::encode_direct(std::uint32_t value, int nbits) {
-  for (int i = nbits - 1; i >= 0; --i) {
-    range_ >>= 1;
-    if ((value >> i) & 1u) low_ += range_;
-    while (range_ < kTop) {
-      shift_low();
-      range_ <<= 8;
-    }
-  }
-}
-
 void RangeEncoder::finish() {
   for (int i = 0; i < 5; ++i) shift_low();
 }
@@ -57,55 +26,6 @@ RangeDecoder::RangeDecoder(common::ByteSpan in) : in_(in) {
   // initial code value.
   ++pos_;
   for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
-}
-
-std::uint8_t RangeDecoder::next_byte() {
-  if (pos_ >= in_.size()) {
-    // Reading past the end is tolerated with zero fill: the encoder's
-    // final flush may be truncated by framing, and any real corruption is
-    // caught by the frame checksum.
-    ++pos_;
-    return 0;
-  }
-  return in_[pos_++];
-}
-
-std::uint32_t RangeDecoder::decode_bit(BitModel& m) {
-  const std::uint32_t bound = (range_ >> BitModel::kBits) * m.prob();
-  std::uint32_t bit;
-  if (code_ < bound) {
-    range_ = bound;
-    m.update_0();
-    bit = 0;
-  } else {
-    code_ -= bound;
-    range_ -= bound;
-    m.update_1();
-    bit = 1;
-  }
-  while (range_ < (1u << 24)) {
-    range_ <<= 8;
-    code_ = (code_ << 8) | next_byte();
-  }
-  return bit;
-}
-
-std::uint32_t RangeDecoder::decode_direct(int nbits) {
-  std::uint32_t result = 0;
-  for (int i = 0; i < nbits; ++i) {
-    range_ >>= 1;
-    std::uint32_t bit = 0;
-    if (code_ >= range_) {
-      code_ -= range_;
-      bit = 1;
-    }
-    result = (result << 1) | bit;
-    while (range_ < (1u << 24)) {
-      range_ <<= 8;
-      code_ = (code_ << 8) | next_byte();
-    }
-  }
-  return result;
 }
 
 }  // namespace strato::compress

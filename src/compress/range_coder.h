@@ -27,20 +27,57 @@ class BitModel {
   void update_0() { p_ += (kOne - p_) >> kMoveBits; }
   void update_1() { p_ -= p_ >> kMoveBits; }
 
+  /// Branchless update_0/update_1 selected by `bit` — identical fixed
+  /// point arithmetic, but compiles to masked adds instead of a
+  /// data-dependent branch (the decode hot path's bits are close to
+  /// uniform, so the branch form mispredicts heavily).
+  void update(std::uint32_t bit) {
+    const std::uint32_t neg = 0u - bit;
+    p_ += ((kOne - p_) >> kMoveBits) & ~neg;
+    p_ -= (p_ >> kMoveBits) & neg;
+  }
+
  private:
   std::uint32_t p_ = kOne / 2;
 };
 
 /// Range encoder writing to an owned byte vector.
+///
+/// The per-bit methods are header-inline on purpose: HEAVY codes every
+/// literal bit and match-field bit through them, and keeping the
+/// low_/range_ arithmetic inlinable in the caller's loop is worth several
+/// cycles per bit (only the byte-emitting shift_low stays out of line).
 class RangeEncoder {
  public:
   RangeEncoder() = default;
 
-  /// Encode one bit under an adaptive model.
-  void encode_bit(BitModel& m, std::uint32_t bit);
+  /// Encode one bit under an adaptive model. Branchless on the bit value
+  /// and single-step normalisation, mirroring RangeDecoder::decode_bit
+  /// (see the proof there — prob() in [31, 2017] bounds both outcome
+  /// ranges at 2^17).
+  void encode_bit(BitModel& m, std::uint32_t bit) {
+    const std::uint32_t bound = (range_ >> BitModel::kBits) * m.prob();
+    const std::uint32_t neg = 0u - bit;
+    low_ += bound & neg;
+    range_ = bound + ((range_ - 2 * bound) & neg);
+    m.update(bit);
+    if (range_ < kTopValue) {
+      shift_low();
+      range_ <<= 8;
+    }
+  }
 
   /// Encode `nbits` equiprobable bits of `value`, MSB first.
-  void encode_direct(std::uint32_t value, int nbits);
+  void encode_direct(std::uint32_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      range_ >>= 1;
+      low_ += range_ & (0u - ((value >> i) & 1u));
+      if (range_ < kTopValue) {
+        shift_low();
+        range_ <<= 8;
+      }
+    }
+  }
 
   /// Flush pending state; must be called exactly once, after which the
   /// encoder is spent.
@@ -51,6 +88,8 @@ class RangeEncoder {
   [[nodiscard]] common::Bytes take() { return std::move(out_); }
 
  private:
+  static constexpr std::uint32_t kTopValue = 1u << 24;
+
   void shift_low();
 
   std::uint64_t low_ = 0;
@@ -60,7 +99,10 @@ class RangeEncoder {
   common::Bytes out_;
 };
 
-/// Range decoder reading from a span.
+/// Range decoder reading from a span. Hot methods are header-inline for
+/// the same reason as RangeEncoder's: the HEAVY decode loop runs
+/// entirely through decode_bit, and inlining keeps range_/code_ live in
+/// registers across the whole symbol loop.
 class RangeDecoder {
  public:
   /// Begins decoding; consumes the 5-byte preamble written by the encoder.
@@ -68,16 +110,68 @@ class RangeDecoder {
   explicit RangeDecoder(common::ByteSpan in);
 
   /// Decode one bit under an adaptive model.
-  std::uint32_t decode_bit(BitModel& m);
+  ///
+  /// Branchless on the bit decision: length/distance tree bits carry
+  /// close to one bit of entropy each on compressible data, so a
+  /// conditional here mispredicts on nearly half the symbol-control
+  /// bits. The masked form costs a couple of ALU ops but keeps the
+  /// pipeline full; the arithmetic (and therefore the wire format) is
+  /// identical to the branchy update_0/update_1 split.
+  ///
+  /// Normalisation needs at most one step: m.prob() stays within
+  /// [31, 2017] (the update rules' fixed points), so both outcome
+  /// ranges are >= pre_range * 31/2048 >= 2^17 whenever pre_range >=
+  /// kTopValue, and one << 8 restores the invariant.
+  std::uint32_t decode_bit(BitModel& m) {
+    const std::uint32_t bound = (range_ >> BitModel::kBits) * m.prob();
+    const std::uint32_t bit = code_ >= bound ? 1u : 0u;
+    const std::uint32_t neg = 0u - bit;
+    code_ -= bound & neg;
+    // bit ? range_ - bound : bound, without a branch (exact mod 2^32).
+    range_ = bound + ((range_ - 2 * bound) & neg);
+    m.update(bit);
+    if (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
 
-  /// Decode `nbits` equiprobable bits, MSB first.
-  std::uint32_t decode_direct(int nbits);
+  /// Decode `nbits` equiprobable bits, MSB first. Direct bits are
+  /// uniform by construction, so the bit decision is branchless for the
+  /// same reason as decode_bit; range_ >>= 1 keeps it >= 2^23, so one
+  /// normalisation step again suffices.
+  std::uint32_t decode_direct(int nbits) {
+    std::uint32_t result = 0;
+    for (int i = 0; i < nbits; ++i) {
+      range_ >>= 1;
+      const std::uint32_t keep = (code_ - range_) >> 31;  // 1 when bit is 0
+      code_ -= range_ & (keep - 1u);
+      result = (result << 1) | (1u - keep);
+      if (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | next_byte();
+      }
+    }
+    return result;
+  }
 
   /// Bytes consumed so far (including preamble).
   [[nodiscard]] std::size_t consumed() const { return pos_; }
 
  private:
-  std::uint8_t next_byte();
+  static constexpr std::uint32_t kTopValue = 1u << 24;
+
+  std::uint8_t next_byte() {
+    if (pos_ >= in_.size()) {
+      // Reading past the end is tolerated with zero fill: the encoder's
+      // final flush may be truncated by framing, and any real corruption
+      // is caught by the frame checksum.
+      ++pos_;
+      return 0;
+    }
+    return in_[pos_++];
+  }
 
   common::ByteSpan in_;
   std::size_t pos_ = 0;

@@ -1,0 +1,212 @@
+#include "compress/suffix_match.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/simd.h"
+
+namespace strato::compress {
+namespace {
+
+/// Core SA-IS over an integer sequence that ends with a unique smallest
+/// sentinel (s.back() == 0, occurring exactly once). K is the alphabet
+/// size. Produces the full suffix array of s, sentinel suffix included
+/// (always sa[0]).
+void sais_int(const std::vector<std::int32_t>& s,
+              std::vector<std::int32_t>& sa, std::int32_t K) {
+  const std::size_t n = s.size();
+  sa.assign(n, -1);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // L/S type classification, right to left. The sentinel is S; a position
+  // is S when its suffix is lexicographically smaller than its successor.
+  std::vector<std::uint8_t> stype(n);
+  stype[n - 1] = 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    stype[i] =
+        (s[i] < s[i + 1] || (s[i] == s[i + 1] && stype[i + 1])) ? 1 : 0;
+  }
+  auto is_lms = [&](std::int32_t i) {
+    return i > 0 && stype[i] && !stype[i - 1];
+  };
+
+  std::vector<std::int32_t> count(K, 0);
+  for (const auto c : s) ++count[c];
+  std::vector<std::int32_t> bkt(K);
+  auto bucket_starts = [&] {
+    std::int32_t sum = 0;
+    for (std::int32_t c = 0; c < K; ++c) {
+      bkt[c] = sum;
+      sum += count[c];
+    }
+  };
+  auto bucket_ends = [&] {
+    std::int32_t sum = 0;
+    for (std::int32_t c = 0; c < K; ++c) {
+      sum += count[c];
+      bkt[c] = sum;
+    }
+  };
+
+  // Induce L suffixes left to right from sorted (LMS or final) seeds,
+  // then S suffixes right to left. This is the standard two-pass
+  // induction; it both sorts LMS substrings in stage 1 and completes the
+  // suffix array in stage 2.
+  auto induce = [&] {
+    bucket_starts();
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::int32_t j = sa[r] - 1;
+      if (sa[r] > 0 && !stype[j]) sa[bkt[s[j]]++] = j;
+    }
+    bucket_ends();
+    for (std::size_t r = n; r-- > 0;) {
+      const std::int32_t j = sa[r] - 1;
+      if (sa[r] > 0 && stype[j]) sa[--bkt[s[j]]] = j;
+    }
+  };
+
+  // Stage 1: drop LMS positions at their bucket ends in arbitrary order
+  // and induce — this sorts the LMS *substrings*.
+  bucket_ends();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (is_lms(static_cast<std::int32_t>(i))) {
+      sa[--bkt[s[i]]] = static_cast<std::int32_t>(i);
+    }
+  }
+  induce();
+
+  // Name LMS substrings in their induced order. Two LMS substrings get
+  // the same name iff they are byte- and type-identical up to and
+  // including their closing LMS position.
+  std::vector<std::int32_t> lms;  // LMS positions in text order
+  lms.reserve(n / 2 + 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (is_lms(static_cast<std::int32_t>(i))) {
+      lms.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  const std::size_t m = lms.size();
+
+  auto lms_equal = [&](std::int32_t a, std::int32_t b) {
+    if (a == b) return true;
+    for (std::int32_t k = 0;; ++k) {
+      const bool a_end = k > 0 && is_lms(a + k);
+      const bool b_end = k > 0 && is_lms(b + k);
+      if (a_end && b_end) return true;
+      if (a_end != b_end) return false;
+      // The unique sentinel bounds the walk: if either side reaches it,
+      // the byte compare below fails before running past the array.
+      if (s[a + k] != s[b + k] || stype[a + k] != stype[b + k]) {
+        return false;
+      }
+    }
+  };
+
+  std::vector<std::int32_t> name_of(n, -1);
+  std::int32_t names = 0;
+  std::int32_t prev = -1;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::int32_t p = sa[r];
+    if (p <= 0 || !is_lms(p)) continue;
+    if (prev >= 0 && lms_equal(prev, p)) {
+      name_of[p] = names - 1;
+    } else {
+      name_of[p] = names++;
+    }
+    prev = p;
+  }
+
+  // Reduced problem: the sequence of LMS names in text order. It ends
+  // with the sentinel's name 0 (lexicographically smallest, unique), so
+  // the recursion precondition holds.
+  std::vector<std::int32_t> sa1;
+  if (names == static_cast<std::int32_t>(m)) {
+    // All names unique: the reduced suffix array is the inverse mapping.
+    sa1.assign(m, 0);
+    for (std::size_t k = 0; k < m; ++k) {
+      sa1[name_of[lms[k]]] = static_cast<std::int32_t>(k);
+    }
+  } else {
+    std::vector<std::int32_t> s1(m);
+    for (std::size_t k = 0; k < m; ++k) s1[k] = name_of[lms[k]];
+    sais_int(s1, sa1, names);
+  }
+
+  // Stage 2: place LMS suffixes in their now-final relative order (from
+  // the back so each bucket fills right to left) and induce once more.
+  std::fill(sa.begin(), sa.end(), -1);
+  bucket_ends();
+  for (std::size_t k = m; k-- > 0;) {
+    const std::int32_t p = lms[sa1[k]];
+    sa[--bkt[s[p]]] = p;
+  }
+  induce();
+}
+
+}  // namespace
+
+namespace detail {
+
+std::vector<std::int32_t> suffix_array_sais(common::ByteSpan s) {
+  const std::size_t n = s.size();
+  assert(n < (1u << 30));
+  if (n == 0) return {};
+  // Shift the alphabet up and append the unique smallest sentinel the
+  // core requires; its suffix sorts first and is dropped from the result.
+  std::vector<std::int32_t> t(n + 1);
+  for (std::size_t i = 0; i < n; ++i) t[i] = s[i] + 1;
+  t[n] = 0;
+  std::vector<std::int32_t> sa;
+  sais_int(t, sa, 257);
+  return {sa.begin() + 1, sa.end()};
+}
+
+}  // namespace detail
+
+void SuffixMatcher::build(common::ByteSpan src) {
+  src_ = src.data();
+  n_ = src.size();
+  sa_ = detail::suffix_array_sais(src);
+  psv_.assign(n_, -1);
+  nsv_.assign(n_, -1);
+  // PSV/NSV over the suffix array sequence: walking ranks in order with a
+  // monotone stack of text positions yields, for every position, its
+  // nearest lexicographic neighbours among smaller text positions — the
+  // only two candidates the longest previous factor can come from.
+  std::vector<std::int32_t> stack;
+  stack.reserve(64);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::int32_t i = sa_[r];
+    while (!stack.empty() && stack.back() > i) {
+      nsv_[stack.back()] = i;
+      stack.pop_back();
+    }
+    psv_[i] = stack.empty() ? -1 : stack.back();
+    stack.push_back(i);
+  }
+}
+
+SuffixMatcher::Match SuffixMatcher::find(std::size_t i, std::size_t max_len,
+                                         std::size_t max_dist) const {
+  const common::simd::Kernels& kernels = common::simd::kernels();
+  const std::uint8_t* const limit = src_ + n_;
+  Match best;
+  const std::int32_t cands[2] = {psv_[i], nsv_[i]};
+  for (const std::int32_t c : cands) {
+    if (c < 0) continue;
+    const std::size_t dist = i - static_cast<std::size_t>(c);
+    if (dist > max_dist) continue;
+    std::size_t len = kernels.match_length(src_ + i, src_ + c, limit);
+    if (len > max_len) len = max_len;
+    if (len > best.len || (len == best.len && len > 0 && dist < best.dist)) {
+      best.len = len;
+      best.dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace strato::compress

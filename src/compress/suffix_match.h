@@ -1,0 +1,67 @@
+// Suffix-array match finder for the HEAVY codec (opt-in).
+//
+// Builds the suffix array of a block with SA-IS (induced sorting, linear
+// time over the byte alphabet), then derives for every text position its
+// two lexicographic-neighbour candidates with a smaller text position
+// (PSV/NSV over the suffix array). The longest previous factor at i is
+// the longer of the common prefixes with exactly those two candidates
+// (Crochemore–Ilie), so find() is two simd match-length scans — no hash
+// chains, no probe-depth cutoff, and the answer is the true longest
+// match, not a heuristic one.
+//
+// Trade-offs vs. the hash-chain finder in heavy_lz.cc: build() costs an
+// O(n) pass with a noticeably larger constant (the SA-IS recursion) and
+// ~13 bytes of scratch per input byte, in exchange for an optimal greedy
+// parse and fully history-independent determinism. The parse differs from
+// the chain finder's; the wire format does not — streams it produces
+// decode with the unchanged HEAVY decoder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace strato::compress {
+
+class SuffixMatcher {
+ public:
+  struct Match {
+    std::size_t len = 0;
+    std::size_t dist = 0;
+  };
+
+  /// Index one block. O(n); n must fit in int32 (blocks are well under
+  /// 2 GiB). The span must stay alive and unchanged while find() is used.
+  void build(common::ByteSpan src);
+
+  /// Longest match at position i against any position j < i, capped at
+  /// max_len bytes and max_dist distance. Ties between the two candidates
+  /// prefer the smaller distance. Returns len 0 when i has no previous
+  /// occurrence (the caller applies its own minimum-match threshold).
+  [[nodiscard]] Match find(std::size_t i, std::size_t max_len,
+                           std::size_t max_dist) const;
+
+  /// The suffix array of the indexed block (exposed for tests).
+  [[nodiscard]] const std::vector<std::int32_t>& suffix_array() const {
+    return sa_;
+  }
+
+ private:
+  const std::uint8_t* src_ = nullptr;
+  std::size_t n_ = 0;
+  std::vector<std::int32_t> sa_;
+  std::vector<std::int32_t> psv_;  // nearest lex. predecessor with pos < i
+  std::vector<std::int32_t> nsv_;  // nearest lex. successor with pos < i
+};
+
+namespace detail {
+
+/// SA-IS suffix array of `s` (positions sorted by lexicographic order of
+/// their suffixes). Exposed so tests can cross-check against brute force.
+std::vector<std::int32_t> suffix_array_sais(common::ByteSpan s);
+
+}  // namespace detail
+
+}  // namespace strato::compress

@@ -19,7 +19,7 @@ namespace {
 common::Bytes fuzz_payload(common::Xoshiro256& rng, std::size_t target) {
   common::Bytes data;
   while (data.size() < target) {
-    switch (rng.below(5)) {
+    switch (rng.below(6)) {
       case 0:
         data.insert(data.end(), 1 + rng.below(300),
                     static_cast<std::uint8_t>(rng()));
@@ -44,6 +44,21 @@ common::Bytes fuzz_payload(common::Xoshiro256& rng, std::size_t target) {
         for (std::size_t i = 0; i < n; ++i) {
           data.push_back(static_cast<std::uint8_t>(i));
         }
+        break;
+      }
+      case 4: {
+        // Small-period run: decodes as overlapped match copies at
+        // distances 1..64, the wild-copy widening hazard class. The
+        // resize below truncates the last run at the payload tail, so
+        // these copies also routinely end within the final 32 bytes of
+        // the exact-size decode scratch.
+        const std::size_t period = 1 + rng.below(64);
+        for (std::size_t i = 0; i < period; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        const std::size_t start = data.size() - period;
+        const std::size_t n = period + rng.below(300);
+        for (std::size_t i = 0; i < n; ++i) data.push_back(data[start + i]);
         break;
       }
       default:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/simd.h"
 #include "compress/decode_pipeline.h"
 #include "compress/framing.h"
 #include "compress/pipeline.h"
@@ -86,6 +87,67 @@ void Oracle::check_roundtrip(common::ByteSpan data, const std::string& tag,
     } catch (const std::exception& e) {
       report.failures.push_back(where + ": framed round-trip threw: " +
                                 e.what());
+    }
+  }
+}
+
+void Oracle::check_simd_identity(common::ByteSpan data, const std::string& tag,
+                                 OracleReport& report) const {
+  namespace simd = common::simd;
+  constexpr simd::Isa kCandidates[] = {simd::Isa::kSse2, simd::Isa::kAvx2,
+                                       simd::Isa::kNeon};
+  for (std::size_t l = 0; l < registry_.level_count(); ++l) {
+    const auto& rung = registry_.level(l);
+    const compress::Codec& codec = *rung.codec;
+    const std::string where = tag + " level=" + rung.label;
+
+    // Scalar reference wire — the fallback table is always available, so
+    // this also pins what a -DSTRATO_SIMD=OFF build would emit.
+    common::Bytes reference;
+    {
+      simd::ScopedIsa scalar(simd::Isa::kScalar);
+      ++report.checks;
+      try {
+        reference = codec.compress(data);
+      } catch (const std::exception& e) {
+        report.failures.push_back(where + " isa=scalar: compress threw: " +
+                                  e.what());
+        continue;
+      }
+    }
+
+    for (const simd::Isa isa : kCandidates) {
+      simd::ScopedIsa forced(isa);
+      if (!forced.ok()) continue;  // this build/CPU cannot run it
+      const std::string isa_where =
+          where + " isa=" + simd::to_string(isa);
+      // Encode-side identity: the vectorized kernels must emit the exact
+      // scalar wire, byte for byte.
+      ++report.checks;
+      try {
+        const common::Bytes wire = codec.compress(data);
+        if (wire != reference) {
+          report.failures.push_back(isa_where +
+                                    ": wire diverges from scalar (" +
+                                    diff_context(wire, reference) + ")");
+        }
+      } catch (const std::exception& e) {
+        report.failures.push_back(isa_where + ": compress threw: " + e.what());
+      }
+      // Decode-side identity: the scalar wire must decode under the
+      // vectorized copy/refill kernels back to the original bytes.
+      ++report.checks;
+      try {
+        const common::Bytes back = codec.decompress(reference, data.size());
+        if (!std::equal(back.begin(), back.end(), data.begin(), data.end())) {
+          report.failures.push_back(isa_where +
+                                    ": decode of scalar wire diverged (" +
+                                    diff_context(back, data) + ")");
+        }
+      } catch (const std::exception& e) {
+        report.failures.push_back(isa_where + ": decompress threw: " +
+                                  e.what());
+      }
     }
   }
 }

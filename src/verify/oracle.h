@@ -59,6 +59,15 @@ class Oracle {
                                const std::vector<std::size_t>& worker_counts,
                                OracleReport& report) const;
 
+  /// Kernel-dispatch wire identity: compress `data` at every level under
+  /// every ISA this build/CPU can force (scalar always; sse2/avx2/neon
+  /// when available) and require the wire bytes to be identical to the
+  /// scalar reference, and the scalar wire to decode correctly under
+  /// every ISA. This is the contract that lets -DSTRATO_SIMD and the
+  /// STRATO_SIMD env override vary freely without wire-format drift.
+  void check_simd_identity(common::ByteSpan data, const std::string& tag,
+                           OracleReport& report) const;
+
   /// Receive-side mirror: decode `wire` through the serial FrameAssembler
   /// (the reference) and through ParallelBlockDecodePipeline at each
   /// worker count x feed-chunk size. The delivered block sequence must be

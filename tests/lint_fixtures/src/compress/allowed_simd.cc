@@ -1,0 +1,10 @@
+// The allow() escape hatch for [simd]: every violation class annotated —
+// this file must lint clean.
+#include <immintrin.h>  // strato-lint: allow(simd)
+
+// strato-lint: allow(simd)
+int ok_ctz(unsigned v) { return __builtin_ctz(v); }
+unsigned long long ok_extract(__m128i x) {
+  return static_cast<unsigned long long>(
+      _mm_cvtsi128_si64(x));  // strato-lint: allow(simd)
+}

@@ -1,0 +1,10 @@
+// Seeded [simd] violations: intrinsics and bit-scan builtins outside
+// common/simd.h. The selftest expects 5 findings here.
+#include <immintrin.h>
+#include <arm_neon.h>
+
+int bad_ctz(unsigned v) { return __builtin_ctz(v); }
+unsigned long long bad_load(const void* p) {
+  __m128i x = _mm_loadu_si128(static_cast<const __m128i*>(p));
+  return static_cast<unsigned long long>(_mm_cvtsi128_si64(x));
+}
