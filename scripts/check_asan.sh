@@ -29,6 +29,8 @@ TESTS=(
   verify_chaos_test
   property_test
   fault_injection_test
+  core_transport_test
+  transport_soak_test
   # ctest -L fleet slice: SoA column indexing under ASan guards against
   # any phase/id bookkeeping bug turning into out-of-bounds column reads.
   vsim_event_queue_test
@@ -47,6 +49,12 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 status=0
 for t in "${TESTS[@]}"; do
   echo "== ASan: $t =="
+  # The loopback soak honors STRATO_TRANSPORT_*; scale it down under the
+  # sanitizer's slowdown unless the caller pinned a size.
+  if [ "$t" = "transport_soak_test" ]; then
+    export STRATO_TRANSPORT_CONNS="${STRATO_TRANSPORT_CONNS:-8}"
+    export STRATO_TRANSPORT_TOTAL_MB="${STRATO_TRANSPORT_TOTAL_MB:-16}"
+  fi
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
   fi

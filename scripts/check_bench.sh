@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark trajectory gate: re-run the scaling benches and compare them
 # against the committed BENCH_pipeline.json / BENCH_decode.json /
-# BENCH_codec.json at the repo root.
+# BENCH_codec.json / BENCH_transport.json at the repo root.
 #
 #   scripts/check_bench.sh [build-dir] [--update]
 #
@@ -50,7 +50,8 @@ status=0
 for pair in "bench_pipeline_scaling:BENCH_pipeline.json" \
             "bench_decode_scaling:BENCH_decode.json" \
             "bench_fleet_scale:BENCH_fleet.json" \
-            "bench_codec_micro:BENCH_codec.json"; do
+            "bench_codec_micro:BENCH_codec.json" \
+            "bench_transport_loopback:BENCH_transport.json"; do
   bench="${pair%%:*}"
   committed="${pair##*:}"
   bin="$BUILD/bench/$bench"
@@ -102,6 +103,14 @@ SCHEMAS = {
         "timing": "mib_per_s",
         "speedup_floor": False,
         "min_gain": True,
+    },
+    "transport_loopback": {
+        "top": ["bench", "block_size", "corpus_seed", "total_mib",
+                "identity_check"],
+        "key": ["level", "conns", "workers"],
+        "det": ["blocks", "ratio"],
+        "timing": "mib_per_s",
+        "speedup_floor": False,
     },
     "fleet_scale": {
         "top": ["bench", "seed", "epoch_ms", "flows_total",

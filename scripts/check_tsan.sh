@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build with -DSTRATO_SANITIZE=thread and run the concurrency-sensitive
-# tests (thread pool, buffer pool, parallel pipeline, stream, channels)
-# under ThreadSanitizer.
+# tests (thread pool, buffer pool, parallel pipeline, stream, channels,
+# async transport + loopback soak) under ThreadSanitizer.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -19,6 +19,8 @@ TESTS=(
   compress_pipeline_test
   compress_decode_pipeline_test
   core_stream_test
+  core_transport_test
+  transport_soak_test
   dataflow_channel_test
   verify_oracle_test
   verify_chaos_test
@@ -47,6 +49,12 @@ for t in "${TESTS[@]}"; do
   opts="$TSAN_OPTIONS"
   if [ "$t" = "common_lockgraph_test" ]; then
     opts="$opts detect_deadlocks=0"
+  fi
+  # The loopback soak honors STRATO_TRANSPORT_*; scale it down under the
+  # sanitizer's ~10x slowdown unless the caller pinned a size.
+  if [ "$t" = "transport_soak_test" ]; then
+    export STRATO_TRANSPORT_CONNS="${STRATO_TRANSPORT_CONNS:-8}"
+    export STRATO_TRANSPORT_TOTAL_MB="${STRATO_TRANSPORT_TOTAL_MB:-16}"
   fi
   if ! TSAN_OPTIONS="$opts" "$BUILD_DIR/tests/$t"; then
     status=1

@@ -47,6 +47,9 @@ fi
 # copy is the one plots and PR descriptions reference).
 "$BUILD"/bench/bench_codec_micro "$OUT/BENCH_codec.json" >/dev/null
 
+# End-to-end loopback transport trajectory, same standalone-artifact form.
+"$BUILD"/bench/bench_transport_loopback "$OUT/BENCH_transport.json" >/dev/null
+
 # Timeline CSVs for external plotting.
 "$BUILD"/bench/bench_fig4_timeline_high --csv "$OUT/fig4_timeline.csv" >/dev/null
 "$BUILD"/bench/bench_fig5_timeline_low  --csv "$OUT/fig5_timeline.csv" >/dev/null

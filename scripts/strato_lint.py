@@ -42,6 +42,13 @@ into every presubmit script (check_static.sh runs this first):
                    family are banned everywhere else in src/ — portable
                    code calls simd::kernels() / simd::ctz32/ctz64, so one
                    file carries every per-ISA #if.
+  socket           raw transport syscalls have exactly one home:
+                   socket(2) creation and the epoll_* family are banned in
+                   src/ outside src/core/{tcp,epoll_loop,transport}.* —
+                   every other layer talks through TcpConnection/
+                   TcpListener and EpollLoop, so fd lifetimes, SIGPIPE
+                   discipline and event-loop invariants stay auditable in
+                   one place.
   pragma-once      every header starts with #pragma once.
   using-namespace  `using namespace std` is banned in src/.
   include-path     project includes are "dir/file.h" from the src/ root:
@@ -92,6 +99,11 @@ FLEET_ALLOC_PREFIXES = ("vsim/flow_table.", "vsim/fleet.", "vsim/topology.")
 # The one sanctioned home of intrinsics and bit-scan builtins.
 SIMD_ALLOWED = {"common/simd.h"}
 
+# The sanctioned home of raw transport syscalls (socket(2) + epoll_*):
+# the TCP wrappers, the event loop, and the async transport they carry.
+SOCKET_ALLOWED_PREFIXES = ("core/tcp.", "core/epoll_loop.",
+                           "core/transport.")
+
 RULES = {
     "wallclock": [
         (re.compile(r"system_clock"), "std::chrono::system_clock"),
@@ -135,6 +147,12 @@ RULES = {
          "raw NEON intrinsic call (use the common/simd.h kernel table)"),
         (re.compile(r"__builtin_c[tl]z(?:l|ll)?\b"),
          "__builtin_ctz/clz family (use simd::ctz32/ctz64)"),
+    ],
+    "socket": [
+        (re.compile(r"(?<![A-Za-z0-9_])socket\s*\("),
+         "raw socket(2) (use core::TcpConnection / core::TcpListener)"),
+        (re.compile(r"(?<![A-Za-z0-9_])epoll_(?:create1?|ctl|p?wait)\s*\("),
+         "raw epoll_* syscall (use core::EpollLoop)"),
     ],
     "using-namespace": [
         (re.compile(r"\busing\s+namespace\s+std\b"), "using namespace std"),
@@ -262,6 +280,8 @@ def lint_file(path: Path, rel: str):
             check("fleet-alloc", RULES["fleet-alloc"])
         if rel not in SIMD_ALLOWED:
             check("simd", RULES["simd"])
+        if not rel.startswith(SOCKET_ALLOWED_PREFIXES):
+            check("socket", RULES["socket"])
         check("using-namespace", RULES["using-namespace"])
         check("include-path", RULES["include-path"])
 
@@ -302,6 +322,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("core/bad_header.h", "using-namespace"): 1,
     ("core/bad_header.h", "include-path"): 1,
     ("compress/framing.cc", "copy"): 4,
+    ("core/bad_socket.cc", "socket"): 4,
     ("compress/bad_simd.cc", "simd"): 5,
     ("vsim/fleet.cc", "fleet-alloc"): 3,
 }

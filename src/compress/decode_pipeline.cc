@@ -1,6 +1,8 @@
 #include "compress/decode_pipeline.h"
 
 #include <algorithm>
+#include <cstring>
+#include <stdexcept>
 #include <utility>
 
 namespace strato::compress {
@@ -42,61 +44,105 @@ void ParallelBlockDecodePipeline::feed(common::ByteSpan data) {
   dispatch_available();
 }
 
-void ParallelBlockDecodePipeline::append_wire(common::ByteSpan data) {
-  wire_fed_ += data.size();
-  // A poisoned stream can never decode past the bad header; buffering more
-  // bytes would only grow memory for frames that are unreachable.
-  if (poisoned_ || data.empty()) return;
-
+ParallelBlockDecodePipeline::Segment* ParallelBlockDecodePipeline::ensure_free(
+    std::size_t n) {
+  recv_seg_ = nullptr;  // any outstanding recv_span is invalidated
   if (segments_.empty()) {
     Segment fresh;
-    fresh.data = pool_.acquire(std::max(segment_size_, data.size()));
+    fresh.data = pool_.acquire(std::max(segment_size_, n));
+    // Expose the whole reserved capacity as writable space; `fill` tracks
+    // how much of it actually holds wire bytes. data() never moves.
+    fresh.data.resize(fresh.data.capacity());
     segments_.push_back(std::move(fresh));
   }
   Segment* seg = &segments_.back();
 
   // Fully-drained active segment: restart it in place (the FrameAssembler
   // "reset the offset, move nothing" case).
-  if (seg->parse_off == seg->data.size() && seg->parse_off != 0) {
+  if (seg->parse_off == seg->fill && seg->parse_off != 0) {
     bool drained;
     {
       common::MutexLock lk(mu_);
       drained = seg->outstanding == 0;
     }
     if (drained) {
-      seg->data.clear();
+      seg->fill = 0;
       seg->parse_off = 0;
     }
   }
 
-  if (seg->data.size() + data.size() > seg->data.capacity()) {
+  if (seg->fill + n > seg->data.size()) {
     // Wraparound: seal the segment and move ONLY the partial-frame tail
     // into a fresh one (every complete frame was already parsed in place).
     // This is the single point where a wire byte can move a second time.
-    const std::size_t tail = seg->data.size() - seg->parse_off;
-    std::size_t need = std::max(segment_size_, tail + data.size());
+    const std::size_t tail = seg->fill - seg->parse_off;
+    std::size_t need = std::max(segment_size_, tail + n);
     // When the pending frame's header is known, size the fresh segment to
     // hold the whole frame so an oversized frame wraps at most once more.
     need = std::max(need, pending_frame_size_);
     Segment fresh;
     fresh.data = pool_.acquire(need);
+    fresh.data.resize(fresh.data.capacity());
     if (tail > 0) {
-      fresh.data.insert(  // strato-lint: allow(copy)
-          fresh.data.end(), seg->data.begin() + static_cast<std::ptrdiff_t>(
-                                                    seg->parse_off),
-          seg->data.end());
+      std::memcpy(fresh.data.data(), seg->data.data() + seg->parse_off,
+                  tail);
       tail_bytes_copied_ += tail;
-      seg->data.resize(seg->parse_off);  // shrink: data() stays put
+      seg->fill = seg->parse_off;  // the moved tail is dead in the old seg
     }
+    fresh.fill = tail;
     seg->sealed = true;
     ++segments_sealed_;
     segments_.push_back(std::move(fresh));
     seg = &segments_.back();
   }
+  return seg;
+}
 
-  // The receive append: the one sanctioned wire-byte copy on this path.
-  seg->data.insert(seg->data.end(), data.begin(),  // strato-lint: allow(copy)
-                   data.end());
+void ParallelBlockDecodePipeline::append_wire(common::ByteSpan data) {
+  wire_fed_ += data.size();
+  // A poisoned stream can never decode past the bad header; buffering more
+  // bytes would only grow memory for frames that are unreachable.
+  if (poisoned_ || data.empty()) return;
+
+  Segment* seg = ensure_free(data.size());
+  // The receive append: the one sanctioned wire-byte copy on this path
+  // (recv_span()/commit() skips even this one).
+  std::memcpy(seg->data.data() + seg->fill, data.data(), data.size());
+  seg->fill += data.size();
+}
+
+common::MutableByteSpan ParallelBlockDecodePipeline::recv_span(
+    std::size_t min_bytes) {
+  if (min_bytes == 0) min_bytes = 1;
+  if (poisoned_) {
+    // Nothing past the poison frame can ever parse; let the reader drain
+    // its socket into scratch instead of growing dead segments.
+    if (poison_scratch_.size() < min_bytes) poison_scratch_.resize(min_bytes);
+    recv_seg_ = nullptr;
+    return {poison_scratch_.data(), poison_scratch_.size()};
+  }
+  Segment* seg = ensure_free(min_bytes);
+  recv_seg_ = seg;
+  return {seg->data.data() + seg->fill, seg->data.size() - seg->fill};
+}
+
+void ParallelBlockDecodePipeline::commit(std::size_t n) {
+  wire_fed_ += n;
+  if (n == 0) return;
+  if (recv_seg_ == nullptr) {
+    if (poisoned_) return;  // drained into scratch, dropped by design
+    throw std::logic_error(
+        "ParallelBlockDecodePipeline::commit without recv_span");
+  }
+  Segment* seg = recv_seg_;
+  recv_seg_ = nullptr;
+  if (seg->fill + n > seg->data.size()) {
+    throw std::logic_error(
+        "ParallelBlockDecodePipeline::commit exceeds recv_span");
+  }
+  seg->fill += n;
+  parse_available();
+  dispatch_available();
 }
 
 void ParallelBlockDecodePipeline::parse_available() {
@@ -105,7 +151,7 @@ void ParallelBlockDecodePipeline::parse_available() {
   // sealing moves the unparsed tail forward.
   Segment& seg = segments_.back();
   for (;;) {
-    const std::size_t avail = seg.data.size() - seg.parse_off;
+    const std::size_t avail = seg.fill - seg.parse_off;
     // Each frame's header is parsed exactly once: cached on the first pass
     // that sees it complete, reused while starved for payload bytes.
     if (pending_frame_size_ == 0) {

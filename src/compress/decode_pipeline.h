@@ -95,6 +95,21 @@ class ParallelBlockDecodePipeline {
   /// start decoding any frames they complete. Never blocks on workers.
   void feed(common::ByteSpan data);
 
+  /// Zero-copy receive path: writable space inside the active pooled
+  /// segment, at least `min_bytes` long. A socket reader recv()s directly
+  /// into the span and then calls commit() with the byte count actually
+  /// written — the wire bytes land in the segment the frames are parsed
+  /// from, so the feed()-path copy disappears entirely. Calling feed(),
+  /// next_block() or recv_span() again before commit() invalidates the
+  /// span. On a poisoned stream the span points at scratch the parser
+  /// will never look at (drain-and-discard).
+  [[nodiscard]] common::MutableByteSpan recv_span(std::size_t min_bytes);
+
+  /// Account `n` bytes written into the last recv_span() and parse/
+  /// dispatch any frames they complete. @param n must be <= the span's
+  /// size; 0 is a no-op.
+  void commit(std::size_t n);
+
   /// Deliver the next block in wire order, or nullopt if more bytes are
   /// needed. Blocks only while the head frame is still decoding. The
   /// returned view invalidates the previous one. @throws CodecError with
@@ -132,11 +147,15 @@ class ParallelBlockDecodePipeline {
 
  private:
   /// Pooled receive segment. data() is stable for the segment's lifetime:
-  /// appends never exceed the reserved capacity. Only the feeding thread
-  /// touches layout; `outstanding` (frames parsed from the segment whose
-  /// decode has not finished) is the one field workers update, under mu_.
+  /// it is resized to its full capacity once at acquire, and `fill` marks
+  /// how much of it holds wire bytes — the tail [fill, size) is the
+  /// writable space recv_span() hands to socket readers. Only the feeding
+  /// thread touches layout; `outstanding` (frames parsed from the segment
+  /// whose decode has not finished) is the one field workers update,
+  /// under mu_.
   struct Segment {
     common::Bytes data;          // pooled; never reallocates after acquire
+    std::size_t fill = 0;        // wire bytes present: [0, fill)
     std::size_t parse_off = 0;   // feeding-thread parse cursor
     std::uint32_t outstanding = 0;  // under mu_ once workers exist
     bool sealed = false;         // no further appends
@@ -162,8 +181,10 @@ class ParallelBlockDecodePipeline {
     std::exception_ptr error;
   };
 
-  /// Copy wire bytes into the active segment, sealing + opening segments
-  /// on wraparound so no frame ever straddles two segments.
+  /// Active segment with >= n bytes of writable tail, sealing + opening
+  /// segments on wraparound so no frame ever straddles two segments.
+  Segment* ensure_free(std::size_t n);
+  /// Copy wire bytes into the active segment (the feed() path).
   void append_wire(common::ByteSpan data);
   /// Parse every complete frame at the cursor into parsed_; on a malformed
   /// header, record the poison and stop (order-exact with serial).
@@ -199,6 +220,8 @@ class ParallelBlockDecodePipeline {
   FrameHeader pending_hdr_;
   bool poisoned_ = false;
   std::exception_ptr parse_error_;
+  Segment* recv_seg_ = nullptr;    // segment behind the outstanding recv_span
+  common::Bytes poison_scratch_;   // recv_span target once poisoned
 
   FrameHeader last_;
   bool lease_active_ = false;

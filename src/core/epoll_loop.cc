@@ -1,0 +1,122 @@
+#include "core/epoll_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace strato::core {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t e = 0;
+  if ((events & EpollLoop::kRead) != 0) e |= EPOLLIN;
+  if ((events & EpollLoop::kWrite) != 0) e |= EPOLLOUT;
+  // Level-triggered on purpose: endpoints re-arm/disarm kWrite around a
+  // non-empty send queue, and level semantics survive a missed edge.
+  return e;
+}
+
+std::uint32_t from_epoll(std::uint32_t e) {
+  std::uint32_t events = 0;
+  if ((e & (EPOLLIN | EPOLLRDHUP)) != 0) events |= EpollLoop::kRead;
+  if ((e & EPOLLOUT) != 0) events |= EpollLoop::kWrite;
+  if ((e & (EPOLLERR | EPOLLHUP)) != 0) events |= EpollLoop::kError;
+  return events;
+}
+
+}  // namespace
+
+EpollLoop::EpollLoop() {
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) fail("epoll_create1");
+}
+
+EpollLoop::~EpollLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void EpollLoop::add(int fd, std::uint32_t events, Callback cb) {
+  if (watching(fd)) {
+    throw std::runtime_error("EpollLoop::add: fd already watched");
+  }
+  Watch w;
+  w.cb = std::move(cb);
+  w.events = events;
+  w.gen = next_gen_++;
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  // Pack fd + generation so a stale readiness entry for a removed-then-
+  // re-added (or kernel-reused) fd number is recognized and dropped.
+  ev.data.u64 =
+      (static_cast<std::uint64_t>(w.gen) << 32) | static_cast<std::uint32_t>(fd);
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail("epoll_ctl(ADD)");
+  watches_.emplace(fd, std::move(w));
+}
+
+void EpollLoop::modify(int fd, std::uint32_t events) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) {
+    throw std::runtime_error("EpollLoop::modify: fd not watched");
+  }
+  if (it->second.events == events) return;
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.u64 = (static_cast<std::uint64_t>(it->second.gen) << 32) |
+                static_cast<std::uint32_t>(fd);
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail("epoll_ctl(MOD)");
+  it->second.events = events;
+}
+
+void EpollLoop::remove(int fd) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  // The fd may already be closed by the caller; EBADF/ENOENT are benign
+  // here (the kernel dropped the registration with the last fd reference).
+  (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  watches_.erase(it);
+}
+
+std::size_t EpollLoop::poll(int timeout_ms) {
+  constexpr int kBatch = 64;
+  epoll_event ready[kBatch];
+  int n;
+  do {
+    n = epoll_wait(epfd_, ready, kBatch, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail("epoll_wait");
+
+  std::size_t dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = static_cast<int>(ready[i].data.u64 & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(ready[i].data.u64 >> 32);
+    const auto it = watches_.find(fd);
+    // A callback earlier in this batch may have removed (or removed and
+    // re-registered) this fd; the generation check drops the stale entry.
+    if (it == watches_.end() || it->second.gen != gen) continue;
+    const std::uint32_t events = from_epoll(ready[i].events);
+    if (events == 0) continue;
+    // Invoke through a copy: the callback may add()/remove() watches,
+    // rehashing the map out from under the stored std::function.
+    const Callback cb = it->second.cb;
+    cb(events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EpollLoop::run_until(const std::function<bool()>& done, int slice_ms) {
+  while (!done()) {
+    poll(slice_ms);
+  }
+}
+
+}  // namespace strato::core

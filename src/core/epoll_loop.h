@@ -1,0 +1,79 @@
+// Non-blocking readiness event loop (epoll backend).
+//
+// The async transport's reactor: callers register a file descriptor with
+// an interest mask and a callback, then drive the loop from ONE thread via
+// poll(). The interface deliberately speaks its own event constants rather
+// than <sys/epoll.h>'s so the backend can move to io_uring (or kqueue)
+// without touching any call site: registration is interest + callback,
+// dispatch is a readiness mask — both map 1:1 onto a completion-based
+// backend submitting POLL_ADD ops.
+//
+// Threading contract: every method, and every callback, runs on the one
+// thread that owns the loop. Endpoints needing cross-thread work (the
+// compression pipelines) synchronize internally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace strato::core {
+
+class EpollLoop {
+ public:
+  /// Backend-neutral readiness bits (values match EPOLLIN/EPOLLOUT so the
+  /// epoll backend translates for free; callers must use the names).
+  static constexpr std::uint32_t kRead = 0x001;
+  static constexpr std::uint32_t kWrite = 0x004;
+  /// Error/hangup conditions; always delivered, never needs registering.
+  static constexpr std::uint32_t kError = 0x008;
+
+  /// Invoked with the ready mask (kRead/kWrite/kError bits).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  /// @throws std::runtime_error when the kernel refuses an epoll instance.
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Watch `fd` for `events` (kRead|kWrite; may be 0 = registered but
+  /// silent). The loop does not own the fd. @throws std::runtime_error on
+  /// kernel failure or double-add.
+  void add(int fd, std::uint32_t events, Callback cb);
+
+  /// Change the interest mask of a watched fd. 0 keeps the registration
+  /// but delivers nothing — the backpressure "pause" primitive.
+  void modify(int fd, std::uint32_t events);
+
+  /// Stop watching `fd`. Safe to call from inside a callback (pending
+  /// readiness for the fd in the current batch is discarded).
+  void remove(int fd);
+
+  [[nodiscard]] bool watching(int fd) const {
+    return watches_.find(fd) != watches_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return watches_.size(); }
+
+  /// Wait up to `timeout_ms` (-1 = forever, 0 = non-blocking) and dispatch
+  /// every ready callback once. Returns the number of callbacks run.
+  std::size_t poll(int timeout_ms);
+
+  /// poll(slice_ms) until `done()` returns true (checked before and after
+  /// every slice).
+  void run_until(const std::function<bool()>& done, int slice_ms = 10);
+
+ private:
+  struct Watch {
+    Callback cb;
+    std::uint32_t events = 0;
+    std::uint32_t gen = 0;  // guards against fd-number reuse in a batch
+  };
+
+  int epfd_ = -1;
+  std::uint32_t next_gen_ = 1;
+  std::unordered_map<int, Watch> watches_;
+};
+
+}  // namespace strato::core

@@ -2,10 +2,16 @@
 //
 // The paper's network channels are TCP connections; the in-process
 // ThrottledPipe stands in for them in unit tests, but the library also
-// works over actual sockets. Minimal blocking RAII wrappers: a listener,
-// a connection usable as ByteSink (sender side) and chunk reader
-// (receiver side). Loopback integration tests drive the full adaptive
-// pipeline over a genuine kernel TCP stack.
+// works over actual sockets. Minimal RAII wrappers: a listener, a
+// connection usable as ByteSink (sender side) and chunk reader (receiver
+// side). The blocking read/write paths retry EINTR and wait out EAGAIN
+// via poll(2), so they keep blocking semantics even on an O_NONBLOCK fd;
+// the async transport (core/transport.h) drives the same connections
+// non-blocking through core::EpollLoop.
+//
+// SIGPIPE safety: every send uses MSG_NOSIGNAL (and SO_NOSIGPIPE where
+// that exists instead), so a peer reset surfaces as std::runtime_error
+// (EPIPE/ECONNRESET), never a process-killing signal.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +22,8 @@
 
 namespace strato::core {
 
-/// Connected TCP stream (blocking I/O). Movable, closes on destruction.
+/// Connected TCP stream (blocking I/O by default). Movable, closes on
+/// destruction.
 class TcpConnection final : public ByteSink {
  public:
   TcpConnection() = default;
@@ -31,19 +38,29 @@ class TcpConnection final : public ByteSink {
   /// Connect to host:port. @throws std::runtime_error on failure.
   static TcpConnection connect(const std::string& host, std::uint16_t port);
 
-  /// ByteSink: write all bytes (loops over partial writes).
-  /// @throws std::runtime_error on a broken connection.
+  /// ByteSink: write all bytes (loops over partial writes; retries EINTR;
+  /// poll()-waits on EAGAIN so a non-blocking fd still writes-all).
+  /// @throws std::runtime_error on a broken connection (EPIPE surfaces
+  /// here as an exception, not a SIGPIPE).
   void write(common::ByteSpan data) override;
 
-  /// Read up to `max_bytes`; empty result = orderly EOF.
-  /// @throws std::runtime_error on socket errors.
+  /// Read up to `max_bytes`; empty result = orderly EOF. Retries EINTR
+  /// and poll()-waits on EAGAIN (blocking semantics on any fd).
+  /// @throws std::runtime_error on socket errors (e.g. ECONNRESET).
   common::Bytes read(std::size_t max_bytes);
 
   /// Half-close the sending direction (receiver sees EOF after draining).
   void shutdown_send();
 
+  /// Toggle O_NONBLOCK — the async transport runs connections
+  /// non-blocking. @throws std::runtime_error on fcntl failure.
+  void set_nonblocking(bool on);
+
   void close();
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Raw descriptor for event-loop registration (still owned by this
+  /// object).
+  [[nodiscard]] int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
@@ -52,14 +69,16 @@ class TcpConnection final : public ByteSink {
 /// Listening socket bound to 127.0.0.1 on an ephemeral (or given) port.
 class TcpListener {
  public:
-  /// @param port 0 = pick an ephemeral port (see port()).
-  explicit TcpListener(std::uint16_t port = 0);
+  /// @param port    0 = pick an ephemeral port (see port()).
+  /// @param backlog accept queue depth; the soak opens hundreds of
+  ///                connections before the acceptor drains them.
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 128);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Accept one connection (blocking).
+  /// Accept one connection (blocking; retries EINTR).
   TcpConnection accept();
 
   [[nodiscard]] std::uint16_t port() const { return port_; }

@@ -1,0 +1,496 @@
+#include "core/transport.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace strato::core {
+
+namespace {
+
+/// iovec batch per sendmsg call. 64 segments x 256 KB default segments is
+/// far past any kernel buffer; one call always empties or fills.
+constexpr std::size_t kMaxIov = 64;
+
+std::exception_ptr errno_error(const char* what, int err) {
+  return std::make_exception_ptr(std::runtime_error(
+      std::string(what) + ": " + std::strerror(err)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AsyncSender
+
+AsyncSender::AsyncSender(EpollLoop& loop, TcpConnection conn,
+                         const compress::CodecRegistry& registry,
+                         Config config, metrics::MetricRegistry* metrics)
+    : loop_(loop),
+      conn_(std::move(conn)),
+      registry_(registry),
+      config_(std::move(config)) {
+  if (config_.segment_bytes == 0) config_.segment_bytes = 64 * 1024;
+  if (config_.low_watermark > config_.high_watermark) {
+    config_.low_watermark = config_.high_watermark / 2;
+  }
+  if (metrics != nullptr) {
+    m_bytes_ = &metrics->counter("tx.wire_bytes");
+    m_frames_ = &metrics->counter("tx.frames");
+    m_stalls_ = &metrics->counter("tx.chaos_stalls");
+    m_backpressure_ = &metrics->counter("tx.backpressure");
+    m_writev_ = &metrics->counter("tx.sendmsg_calls");
+    m_queued_ = &metrics->gauge("tx.queued_bytes");
+    m_level_blocks_.reserve(registry_.level_count());
+    for (std::size_t l = 0; l < registry_.level_count(); ++l) {
+      m_level_blocks_.push_back(
+          &metrics->counter("tx.blocks.level" + std::to_string(l)));
+    }
+  }
+  if (config_.workers > 1) {
+    pipeline_.emplace(
+        registry_,
+        compress::PipelineConfig{config_.workers, config_.depth},
+        [this](common::ByteSpan frame, std::size_t raw_size, int level) {
+          enqueue_frame(frame, raw_size, level);
+        });
+  }
+  conn_.set_nonblocking(true);
+  loop_.add(conn_.fd(), 0, [this](std::uint32_t ev) { on_event(ev); });
+  watched_ = true;
+}
+
+AsyncSender::~AsyncSender() {
+  if (watched_) loop_.remove(conn_.fd());
+}
+
+void AsyncSender::send(int level, common::ByteSpan payload) {
+  throw_if_broken();
+  if (pipeline_.has_value()) {
+    // Frames arrive (in submission order) through enqueue_frame.
+    pipeline_->submit(level, payload);
+  } else {
+    const std::size_t last = registry_.level_count() - 1;
+    const std::size_t idx =
+        level < 0 ? 0 : std::min(static_cast<std::size_t>(level), last);
+    encode_block_into(*registry_.level(idx).codec,
+                      static_cast<std::uint8_t>(idx), payload, scratch_);
+    enqueue_frame(common::ByteSpan(scratch_), payload.size(),
+                  static_cast<int>(idx));
+  }
+  if (queued_bytes_ > config_.high_watermark) {
+    // The kernel buffer is full and frames keep landing: stall the
+    // application (exactly what a blocking socket would do) until the
+    // queue drains below the low watermark.
+    ++backpressure_events_;
+    if (m_backpressure_ != nullptr) m_backpressure_->add();
+    drive_until(config_.low_watermark);
+  }
+  throw_if_broken();
+}
+
+void AsyncSender::finish() {
+  throw_if_broken();
+  if (pipeline_.has_value()) pipeline_->flush();
+  finishing_ = true;
+  pump();
+  while (broken_ == nullptr && !(drained() && shut_)) {
+    loop_.poll(1);
+    pump();
+  }
+  throw_if_broken();
+}
+
+void AsyncSender::on_event(std::uint32_t events) {
+  if (broken_ != nullptr) return;
+  pump();
+  if ((events & EpollLoop::kError) != 0 && broken_ == nullptr &&
+      queue_.empty() && !finishing_) {
+    // Peer reset while idle: fetch the pending socket error so the sticky
+    // exception names the real errno, and stop watching a dead fd.
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(conn_.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+    mark_broken(errno_error("socket", err != 0 ? err : ECONNRESET));
+  }
+}
+
+void AsyncSender::enqueue_frame(common::ByteSpan frame, std::size_t raw_size,
+                                int level) {
+  raw_bytes_ += raw_size;
+  ++frames_;
+  if (m_frames_ != nullptr) m_frames_->add();
+  if (level >= 0 &&
+      static_cast<std::size_t>(level) < m_level_blocks_.size()) {
+    m_level_blocks_[static_cast<std::size_t>(level)]->add();
+  }
+  if (config_.chaos.empty()) {
+    append_wire_bytes(frame);
+  } else {
+    // ThrottledPipe::write's exact walk: coordinates count bytes the
+    // writer *attempted* (pre-drop), so a schedule replays identically
+    // regardless of frame sizes. The one deliberate difference: kStall
+    // extends a flush deadline instead of sleeping, so a stalled
+    // connection never freezes its loop's siblings.
+    const auto& events = config_.chaos.events();
+    const std::uint64_t base = chaos_offset_;
+    std::size_t pos = 0;
+    while (pos < frame.size()) {
+      while (chaos_idx_ < events.size() &&
+             events[chaos_idx_].at < base + pos) {
+        ++chaos_idx_;
+      }
+      std::size_t next = frame.size();
+      if (chaos_idx_ < events.size() &&
+          events[chaos_idx_].at < base + frame.size()) {
+        next = static_cast<std::size_t>(events[chaos_idx_].at - base);
+      }
+      if (next > pos) {
+        append_wire_bytes(frame.subspan(pos, next - pos));
+        pos = next;
+        continue;
+      }
+      const common::ChaosEvent& ev = events[chaos_idx_++];
+      switch (ev.kind) {
+        case common::ChaosKind::kStall: {
+          const common::SimTime now = clock_.now();
+          const common::SimTime from = stall_until_ > now ? stall_until_ : now;
+          stall_until_ = from + common::SimTime::ns(static_cast<std::int64_t>(
+              std::max<std::uint64_t>(ev.stall_ns, 1)));
+          ++stalls_;
+          if (m_stalls_ != nullptr) m_stalls_->add();
+          break;
+        }
+        case common::ChaosKind::kDrop:
+          pos += static_cast<std::size_t>(std::min<std::uint64_t>(
+              std::max<std::uint64_t>(ev.span, 1), frame.size() - pos));
+          break;
+        case common::ChaosKind::kCorrupt: {
+          const std::uint8_t flipped =
+              frame[pos] ^
+              (ev.xor_mask == 0 ? std::uint8_t{0xFF} : ev.xor_mask);
+          append_wire_bytes(common::ByteSpan(&flipped, 1));
+          ++pos;
+          break;
+        }
+        case common::ChaosKind::kBlackout:
+          break;  // time-indexed; meaningless on a byte stream
+      }
+    }
+    chaos_offset_ = base + frame.size();
+  }
+  // Opportunistic flush so small streams move without waiting for a poll.
+  pump();
+}
+
+void AsyncSender::append_wire_bytes(common::ByteSpan bytes) {
+  if (broken_ != nullptr) return;  // queue already abandoned
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (queue_.empty() ||
+        queue_.back().data.size() == queue_.back().data.capacity()) {
+      SendSeg seg;
+      seg.data = pool_.acquire(config_.segment_bytes);
+      queue_.push_back(std::move(seg));
+    }
+    common::Bytes& tail = queue_.back().data;
+    const std::size_t take =
+        std::min(tail.capacity() - tail.size(), bytes.size() - pos);
+    tail.insert(tail.end(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                bytes.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+    queued_bytes_ += take;
+  }
+  if (m_queued_ != nullptr) {
+    m_queued_->set(static_cast<std::int64_t>(queued_bytes_));
+  }
+}
+
+void AsyncSender::pump() {
+  if (broken_ != nullptr) return;
+  if (!stalled()) {
+    while (!queue_.empty()) {
+      iovec iov[kMaxIov];
+      std::size_t cnt = 0;
+      for (const SendSeg& seg : queue_) {
+        if (cnt == kMaxIov) break;
+        // sendmsg never writes through the iovec; the const_cast only
+        // satisfies the kernel's writev-shaped struct.
+        iov[cnt].iov_base =
+            const_cast<std::uint8_t*>(seg.data.data()) + seg.off;
+        iov[cnt].iov_len = seg.data.size() - seg.off;
+        ++cnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = cnt;
+      const ssize_t n = ::sendmsg(conn_.fd(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        mark_broken(errno_error("sendmsg", errno));
+        return;
+      }
+      if (m_writev_ != nullptr) m_writev_->add();
+      wire_bytes_ += static_cast<std::uint64_t>(n);
+      queued_bytes_ -= static_cast<std::size_t>(n);
+      if (m_bytes_ != nullptr) m_bytes_->add(static_cast<std::uint64_t>(n));
+      if (m_queued_ != nullptr) {
+        m_queued_->set(static_cast<std::int64_t>(queued_bytes_));
+      }
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        SendSeg& front = queue_.front();
+        const std::size_t have = front.data.size() - front.off;
+        if (left < have) {
+          front.off += left;
+          break;
+        }
+        left -= have;
+        pool_.release(std::move(front.data));
+        queue_.pop_front();
+      }
+    }
+  }
+  if (queue_.empty() && finishing_ && !stalled()) {
+    if (!shut_) {
+      conn_.shutdown_send();
+      shut_ = true;
+    }
+    if (watched_) {
+      // Fully flushed and half-closed: leave the loop so the peer's
+      // eventual close does not EPOLLHUP-storm sibling pollers.
+      loop_.remove(conn_.fd());
+      watched_ = false;
+    }
+    return;
+  }
+  update_interest();
+}
+
+void AsyncSender::update_interest() {
+  // Level-triggered kWrite while anything is queued — including during a
+  // stall, where the immediate re-fire is what re-runs pump() past the
+  // deadline without anyone sleeping.
+  const bool want = !queue_.empty();
+  if (watched_ && want != want_write_armed_) {
+    loop_.modify(conn_.fd(), want ? EpollLoop::kWrite : 0);
+    want_write_armed_ = want;
+  }
+}
+
+bool AsyncSender::stalled() const {
+  return stall_until_.nanos() != 0 && clock_.now() < stall_until_;
+}
+
+void AsyncSender::drive_until(std::size_t below_bytes) {
+  while (broken_ == nullptr && queued_bytes_ > below_bytes) {
+    loop_.poll(1);
+    pump();
+  }
+}
+
+void AsyncSender::throw_if_broken() const {
+  if (broken_ != nullptr) std::rethrow_exception(broken_);
+}
+
+void AsyncSender::mark_broken(std::exception_ptr error) {
+  broken_ = std::move(error);
+  for (SendSeg& seg : queue_) pool_.release(std::move(seg.data));
+  queue_.clear();
+  queued_bytes_ = 0;
+  if (m_queued_ != nullptr) m_queued_->set(0);
+  if (watched_) {
+    loop_.remove(conn_.fd());
+    watched_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AsyncReceiver
+
+AsyncReceiver::AsyncReceiver(EpollLoop& loop, TcpConnection conn,
+                             const compress::CodecRegistry& registry,
+                             Config config, BlockSink sink,
+                             metrics::MetricRegistry* metrics)
+    : loop_(loop),
+      conn_(std::move(conn)),
+      config_(std::move(config)),
+      pipeline_(registry,
+                compress::DecodePipelineConfig{config_.decode_workers,
+                                               config_.depth,
+                                               config_.segment_size}),
+      sink_(std::move(sink)) {
+  if (config_.read_chunk == 0) config_.read_chunk = 64 * 1024;
+  if (config_.max_reads_per_event == 0) config_.max_reads_per_event = 1;
+  if (metrics != nullptr) {
+    m_bytes_ = &metrics->counter("rx.wire_bytes");
+    m_frames_ = &metrics->counter("rx.blocks");
+    m_errors_ = &metrics->counter("rx.errors");
+    m_eofs_ = &metrics->counter("rx.eofs");
+    m_backpressure_ = &metrics->counter("rx.backpressure");
+    m_level_blocks_.reserve(registry.level_count());
+    for (std::size_t l = 0; l < registry.level_count(); ++l) {
+      m_level_blocks_.push_back(
+          &metrics->counter("rx.blocks.level" + std::to_string(l)));
+    }
+  }
+  conn_.set_nonblocking(true);
+  loop_.add(conn_.fd(), EpollLoop::kRead,
+            [this](std::uint32_t ev) { on_event(ev); });
+  watched_ = true;
+}
+
+AsyncReceiver::~AsyncReceiver() { unwatch(); }
+
+void AsyncReceiver::check() const {
+  if (error_ != nullptr) std::rethrow_exception(error_);
+}
+
+void AsyncReceiver::pause() {
+  if (watched_ && !paused_) loop_.modify(conn_.fd(), 0);
+  paused_ = true;
+}
+
+void AsyncReceiver::resume() {
+  if (watched_ && paused_) loop_.modify(conn_.fd(), EpollLoop::kRead);
+  paused_ = false;
+}
+
+void AsyncReceiver::on_event(std::uint32_t) {
+  // EPOLLERR/EPOLLHUP fall through to recv(), which reports the precise
+  // condition (0 = orderly EOF, ECONNRESET = abort) — no separate path.
+  if (done_ || paused_) return;
+  for (std::size_t i = 0; i < config_.max_reads_per_event; ++i) {
+    common::MutableByteSpan span;
+    if (error_ == nullptr) {
+      span = pipeline_.recv_span(config_.read_chunk);
+    } else {
+      // The stream already failed (sticky), but the peer must not wedge
+      // behind a full kernel buffer: keep reading into private scratch
+      // until EOF, bypassing the pipeline entirely.
+      if (discard_scratch_.size() < config_.read_chunk) {
+        discard_scratch_.resize(config_.read_chunk);
+      }
+      span = common::MutableByteSpan(discard_scratch_.data(),
+                                     config_.read_chunk);
+    }
+    const ssize_t n = ::recv(conn_.fd(), span.data(), span.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      fail_stream(errno_error("recv", errno), /*fatal=*/true);
+      return;
+    }
+    if (n == 0) {
+      finish_stream();
+      return;
+    }
+    wire_bytes_ += static_cast<std::uint64_t>(n);
+    if (m_bytes_ != nullptr) m_bytes_->add(static_cast<std::uint64_t>(n));
+    if (error_ != nullptr) continue;  // discard mode: just keep the fd moving
+    if (config_.wire_tap) {
+      config_.wire_tap(
+          common::ByteSpan(span.data(), static_cast<std::size_t>(n)));
+    }
+    pipeline_.commit(static_cast<std::size_t>(n));
+    drain();
+    if (done_ || paused_ || error_ != nullptr) return;
+    if (config_.max_pending_wire != 0 &&
+        pipeline_.pending() > config_.max_pending_wire) {
+      // Undelivered wire outran the configured bound: yield this callback
+      // (level-triggered readiness re-fires next poll). Sustained overrun
+      // fills the kernel buffer and the sender sees EAGAIN backpressure.
+      ++backpressure_events_;
+      if (m_backpressure_ != nullptr) m_backpressure_->add();
+      return;
+    }
+  }
+}
+
+void AsyncReceiver::drain() {
+  try {
+    for (;;) {
+      const std::optional<compress::DecodedBlock> block =
+          pipeline_.next_block();
+      if (!block.has_value()) break;
+      ++blocks_;
+      raw_bytes_ += block->data.size();
+      if (m_frames_ != nullptr) m_frames_->add();
+      const std::size_t lvl = block->header.level;
+      if (lvl < m_level_blocks_.size()) m_level_blocks_[lvl]->add();
+      if (sink_) sink_(block->data, block->header);
+    }
+  } catch (...) {
+    // CodecError from a damaged wire, or a sink failure: sticky, in the
+    // serial-equivalent position (decode_pipeline guarantees the former).
+    // Non-fatal — the socket is fine, so stay in drain-and-discard mode.
+    fail_stream(std::current_exception(), /*fatal=*/false);
+  }
+}
+
+void AsyncReceiver::finish_stream() {
+  eof_ = true;
+  if (error_ == nullptr) {
+    drain();  // deliver what the final bytes completed
+    if (done_) return;  // drain() failed the stream and finalized it
+  }
+  pending_at_eof_ = pipeline_.pending();
+  done_ = true;
+  if (error_ == nullptr && m_eofs_ != nullptr) m_eofs_->add();
+  unwatch();
+}
+
+void AsyncReceiver::fail_stream(std::exception_ptr error, bool fatal) {
+  if (error_ == nullptr) {
+    error_ = std::move(error);
+    if (m_errors_ != nullptr) m_errors_->add();
+  }
+  if (!fatal && !eof_) return;  // stay watched: drain-and-discard to EOF
+  pending_at_eof_ = pipeline_.pending();
+  done_ = true;
+  unwatch();
+}
+
+void AsyncReceiver::unwatch() {
+  if (watched_) {
+    loop_.remove(conn_.fd());
+    watched_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AsyncTransport
+
+AsyncSender& AsyncTransport::add_sender(TcpConnection conn,
+                                        AsyncSender::Config config) {
+  return senders_.emplace_back(loop_, std::move(conn), registry_,
+                               std::move(config), metrics_);
+}
+
+AsyncReceiver& AsyncTransport::add_receiver(TcpConnection conn,
+                                            AsyncReceiver::Config config,
+                                            AsyncReceiver::BlockSink sink) {
+  return receivers_.emplace_back(loop_, std::move(conn), registry_,
+                                 std::move(config), std::move(sink),
+                                 metrics_);
+}
+
+void AsyncTransport::run_receivers() {
+  loop_.run_until([this] { return receivers_done(); });
+}
+
+bool AsyncTransport::receivers_done() const {
+  for (const AsyncReceiver& r : receivers_) {
+    if (!r.done()) return false;
+  }
+  return true;
+}
+
+}  // namespace strato::core

@@ -1,0 +1,60 @@
+#include "metrics/registry.h"
+
+namespace strato::metrics {
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  common::MutexLock lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  common::MutexLock lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::vector<Sample> out;
+  common::MutexLock lk(mu_);
+  out.reserve(counters_.size() + gauges_.size());
+  // Two sorted maps merged by name keep the snapshot name-sorted without
+  // a separate sort pass.
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    const bool take_counter =
+        g == gauges_.end() ||
+        (c != counters_.end() && c->first <= g->first);
+    if (take_counter) {
+      out.push_back(Sample{c->first, true,
+                           static_cast<std::int64_t>(c->second.value())});
+      ++c;
+    } else {
+      out.push_back(Sample{g->first, false, g->second.value()});
+      ++g;
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::to_json() const {
+  const auto samples = snapshot();
+  std::string json = "{";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + s.name + "\":" + std::to_string(s.value);
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace strato::metrics

@@ -1,0 +1,87 @@
+// Named counter/gauge registry for transport endpoints.
+//
+// Production log/page services (Socrates, Aurora) hang per-connection
+// observability off exactly this shape: a process-local registry of named
+// monotonic counters and last-value gauges, cheap enough to bump on every
+// frame. Hot-path updates are relaxed atomics — callers resolve a metric
+// once (a stable reference) and add() without any lock; the registry's
+// mutex only guards name resolution and snapshots. Snapshots are
+// name-sorted so two registries fed the same traffic render byte-identical
+// JSON — the property the transport soak and bench gate rely on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace strato::metrics {
+
+/// Monotonic counter. add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written signed value (queue depths, watermarks, levels).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Process-local registry: create-on-first-use by name, stable addresses
+/// for the lifetime of the registry (std::map nodes never move).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Resolve (creating if absent) the counter named `name`. The reference
+  /// stays valid for the registry's lifetime; cache it off the hot path.
+  Counter& counter(std::string_view name);
+
+  /// Resolve (creating if absent) the gauge named `name`.
+  Gauge& gauge(std::string_view name);
+
+  /// One registered metric at snapshot time.
+  struct Sample {
+    std::string name;
+    bool is_counter = true;
+    std::int64_t value = 0;
+  };
+
+  /// Name-sorted snapshot of every registered metric.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Deterministic JSON object: {"name":value,...} in name order.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable common::Mutex mu_{"MetricRegistry::mu_"};
+  std::map<std::string, Counter, std::less<>> counters_
+      STRATO_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ STRATO_GUARDED_BY(mu_);
+};
+
+}  // namespace strato::metrics

@@ -1,0 +1,292 @@
+// Short-read/short-write fragment torture.
+//
+// A TCP stack may hand the receiver any re-chunking of the sender's
+// writes: 1-byte reads, reads that stop one byte short of a header field
+// ("lane straddling"), or arbitrary random splits. Every framed-stream
+// consumer — the serial FrameAssembler and the decode pipeline's feed()
+// and recv_span()/commit() paths — must deliver the identical block
+// sequence under all of them. The writer-side mirror: a sink that
+// re-fragments every write must leave the wire bytes unchanged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/decode_pipeline.h"
+#include "compress/framing.h"
+#include "compress/registry.h"
+#include "core/policy.h"
+#include "core/stream.h"
+#include "corpus/generator.h"
+#include "verify/seed.h"
+
+namespace strato::compress {
+namespace {
+
+std::vector<common::Bytes> make_blocks(std::size_t count,
+                                       std::size_t max_size,
+                                       std::uint64_t seed) {
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, seed);
+  common::Xoshiro256 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<common::Bytes> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Sizes from 1 byte up, biased small so frames pack densely enough
+    // that a single read can straddle several frame boundaries.
+    blocks.push_back(corpus::take(*gen, 1 + rng.below(max_size)));
+  }
+  return blocks;
+}
+
+common::Bytes make_wire(const CodecRegistry& registry,
+                        const std::vector<common::Bytes>& blocks) {
+  common::Bytes wire;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const std::size_t level = i % registry.level_count();
+    const common::Bytes frame = encode_block(
+        *registry.level(level).codec, static_cast<std::uint8_t>(level),
+        blocks[i]);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  return wire;
+}
+
+/// Split points for one torture schedule. Always includes 0 and size.
+std::vector<std::size_t> random_splits(std::size_t size,
+                                       common::Xoshiro256& rng) {
+  std::vector<std::size_t> cuts{0, size};
+  const std::size_t n = 1 + rng.below(96);
+  for (std::size_t i = 0; i < n; ++i) cuts.push_back(rng.below(size + 1));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+/// Cuts at every distance d in [-2, 2] around each frame-header lane
+/// boundary (magic/level/codec/sizes/checksum edges at offsets 4, 5, 6,
+/// 8, 12, 16, 24) of each frame — the partial-header parse paths.
+std::vector<std::size_t> lane_straddling_splits(
+    const CodecRegistry& registry, common::ByteSpan wire) {
+  std::vector<std::size_t> cuts{0, wire.size()};
+  std::size_t off = 0;
+  while (off + kFrameHeaderSize <= wire.size()) {
+    const FrameHeader hdr =
+        parse_header(wire.subspan(off, wire.size() - off));
+    for (const std::size_t lane : {std::size_t{4}, std::size_t{5},
+                                   std::size_t{6}, std::size_t{8},
+                                   std::size_t{12}, std::size_t{16},
+                                   kFrameHeaderSize}) {
+      for (int d = -2; d <= 2; ++d) {
+        const std::int64_t cut =
+            static_cast<std::int64_t>(off + lane) + d;
+        if (cut > 0 && cut < static_cast<std::int64_t>(wire.size())) {
+          cuts.push_back(static_cast<std::size_t>(cut));
+        }
+      }
+    }
+    off += kFrameHeaderSize + hdr.comp_size;
+  }
+  (void)registry;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+/// Feed `wire` to a FrameAssembler chunked at `cuts`; collect blocks.
+std::vector<common::Bytes> run_assembler(const CodecRegistry& registry,
+                                         common::ByteSpan wire,
+                                         const std::vector<std::size_t>& cuts) {
+  FrameAssembler assembler(registry);
+  std::vector<common::Bytes> out;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    assembler.feed(wire.subspan(cuts[i], cuts[i + 1] - cuts[i]));
+    while (auto block = assembler.next_block()) out.push_back(*block);
+  }
+  EXPECT_EQ(assembler.pending(), 0u);
+  return out;
+}
+
+/// Same schedule through the decode pipeline's zero-copy receive path:
+/// every chunk lands via recv_span()/commit() (memcpy standing in for the
+/// socket), possibly split further when the span is smaller than the
+/// chunk.
+std::vector<common::Bytes> run_recv_span(const CodecRegistry& registry,
+                                         DecodePipelineConfig cfg,
+                                         common::ByteSpan wire,
+                                         const std::vector<std::size_t>& cuts) {
+  ParallelBlockDecodePipeline pipeline(registry, cfg);
+  std::vector<common::Bytes> out;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    std::size_t pos = cuts[i];
+    const std::size_t end = cuts[i + 1];
+    while (pos < end) {
+      const common::MutableByteSpan span = pipeline.recv_span(1);
+      const std::size_t take = std::min(span.size(), end - pos);
+      std::memcpy(span.data(), wire.data() + pos, take);
+      pipeline.commit(take);
+      pos += take;
+      while (auto block = pipeline.next_block()) {
+        out.emplace_back(block->data.begin(), block->data.end());
+      }
+    }
+  }
+  EXPECT_EQ(pipeline.pending(), 0u);
+  return out;
+}
+
+class FragmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seed_ = verify::announce_seed(
+        "STRATO_FRAG_SEED", verify::seed_from_env("STRATO_FRAG_SEED", 7));
+  }
+  std::uint64_t seed_ = 0;
+};
+
+TEST_F(FragmentTest, AssemblerSurvivesOneByteFeeds) {
+  const auto& registry = CodecRegistry::standard();
+  const auto blocks = make_blocks(12, 4096, seed_);
+  const auto wire = make_wire(registry, blocks);
+  std::vector<std::size_t> cuts(wire.size() + 1);
+  for (std::size_t i = 0; i <= wire.size(); ++i) cuts[i] = i;
+  EXPECT_EQ(run_assembler(registry, wire, cuts), blocks);
+}
+
+TEST_F(FragmentTest, AssemblerSurvivesLaneStraddlingFeeds) {
+  const auto& registry = CodecRegistry::standard();
+  const auto blocks = make_blocks(16, 2048, seed_ + 1);
+  const auto wire = make_wire(registry, blocks);
+  const auto cuts = lane_straddling_splits(registry, wire);
+  ASSERT_GT(cuts.size(), blocks.size());  // several cuts per frame
+  EXPECT_EQ(run_assembler(registry, wire, cuts), blocks);
+}
+
+TEST_F(FragmentTest, AssemblerSurvivesRandomSplitSchedules) {
+  const auto& registry = CodecRegistry::standard();
+  const auto blocks = make_blocks(20, 8192, seed_ + 2);
+  const auto wire = make_wire(registry, blocks);
+  common::Xoshiro256 rng(seed_ + 2);
+  for (int round = 0; round < 20; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    EXPECT_EQ(run_assembler(registry, wire, random_splits(wire.size(), rng)),
+              blocks);
+  }
+}
+
+TEST_F(FragmentTest, RecvSpanMatchesFeedUnderTorture) {
+  // The zero-copy receive path must be schedule-invariant too — same
+  // blocks under 1-byte commits, lane-straddling commits and random
+  // schedules, at inline and threaded worker counts.
+  const auto& registry = CodecRegistry::standard();
+  const auto blocks = make_blocks(18, 4096, seed_ + 3);
+  const auto wire = make_wire(registry, blocks);
+  common::Xoshiro256 rng(seed_ + 3);
+
+  std::vector<std::vector<std::size_t>> schedules;
+  std::vector<std::size_t> bytewise(wire.size() + 1);
+  for (std::size_t i = 0; i <= wire.size(); ++i) bytewise[i] = i;
+  schedules.push_back(std::move(bytewise));
+  schedules.push_back(lane_straddling_splits(registry, wire));
+  for (int round = 0; round < 6; ++round) {
+    schedules.push_back(random_splits(wire.size(), rng));
+  }
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    DecodePipelineConfig cfg;
+    cfg.worker_count = workers;
+    // A segment far smaller than the wire forces seal/wraparound under
+    // every schedule.
+    cfg.segment_size = 1024;
+    for (std::size_t s = 0; s < schedules.size(); ++s) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " schedule=" + std::to_string(s));
+      EXPECT_EQ(run_recv_span(registry, cfg, wire, schedules[s]), blocks);
+    }
+  }
+}
+
+TEST_F(FragmentTest, CommitMisuseIsRejected) {
+  const auto& registry = CodecRegistry::standard();
+  ParallelBlockDecodePipeline pipeline(registry, {});
+  // commit() without a recv_span() has nothing to account against.
+  EXPECT_THROW(pipeline.commit(1), std::logic_error);
+  const auto span = pipeline.recv_span(16);
+  EXPECT_THROW(pipeline.commit(span.size() + 1), std::logic_error);
+  pipeline.commit(0);  // 0 is always a no-op
+}
+
+/// ByteSink that forwards every write split into random fragments —
+/// the writer-side short-write torture (a socket that takes a few bytes
+/// per syscall).
+class FragmentingSink final : public core::ByteSink {
+ public:
+  FragmentingSink(core::ByteSink& inner, std::uint64_t seed)
+      : inner_(inner), rng_(seed) {}
+
+  void write(common::ByteSpan data) override {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t take =
+          1 + rng_.below(std::max<std::size_t>(data.size() - pos, 1));
+      inner_.write(data.subspan(pos, std::min(take, data.size() - pos)));
+      pos += take;
+    }
+  }
+
+ private:
+  core::ByteSink& inner_;
+  common::Xoshiro256 rng_;
+};
+
+/// ByteSink collecting everything it sees (the "wire").
+class CaptureSink final : public core::ByteSink {
+ public:
+  void write(common::ByteSpan data) override {
+    wire_.insert(wire_.end(), data.begin(), data.end());
+  }
+  [[nodiscard]] const common::Bytes& wire() const { return wire_; }
+
+ private:
+  common::Bytes wire_;
+};
+
+TEST_F(FragmentTest, FragmentedWriterLeavesWireIdentical) {
+  const auto& registry = CodecRegistry::standard();
+  auto gen =
+      corpus::make_generator(corpus::Compressibility::kModerate, seed_ + 4);
+  const auto payload = corpus::take(*gen, 300000);
+
+  const auto run = [&](bool fragment) {
+    CaptureSink capture;
+    FragmentingSink fragmenting(capture, seed_ + 4);
+    core::ByteSink& sink =
+        fragment ? static_cast<core::ByteSink&>(fragmenting)
+                 : static_cast<core::ByteSink&>(capture);
+    core::StaticPolicy policy(2, "static-2");
+    common::ManualClock clock;
+    core::CompressingWriter writer(sink, registry, policy, clock,
+                                   /*block_size=*/32 * 1024);
+    writer.write(payload);
+    writer.flush();
+    return capture.wire();
+  };
+
+  const common::Bytes direct = run(false);
+  const common::Bytes fragmented = run(true);
+  EXPECT_EQ(direct, fragmented);
+
+  // And the fragmented wire still decodes to the original payload.
+  FrameAssembler assembler(registry);
+  assembler.feed(fragmented);
+  common::Bytes decoded;
+  while (auto block = assembler.next_block()) {
+    decoded.insert(decoded.end(), block->begin(), block->end());
+  }
+  EXPECT_EQ(decoded, payload);
+}
+
+}  // namespace
+}  // namespace strato::compress

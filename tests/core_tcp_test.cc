@@ -1,7 +1,17 @@
 // Real TCP transport: loopback round trips of the full adaptive pipeline
-// over the kernel's TCP stack — the paper's actual channel medium.
+// over the kernel's TCP stack — the paper's actual channel medium, plus
+// the hardening contract: EINTR retry under signal pepper, EAGAIN
+// write-all/read-something on O_NONBLOCK fds, ECONNRESET surfacing as an
+// exception mid-frame, and SIGPIPE never killing the process.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
 #include <thread>
 
 #include "common/checksum.h"
@@ -141,6 +151,175 @@ TEST(Tcp, FramedStreamSurvivesSmallSocketReads) {
   sender.join();
   ASSERT_TRUE(block.has_value());
   EXPECT_EQ(*block, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening regressions
+
+TEST(TcpHardening, ReadWriteSurviveSignalPepper) {
+  // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART makes every
+  // blocking syscall eligible for EINTR; peppering the transfer thread
+  // with signals exercises the retry loops in read()/write().
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  constexpr std::size_t kTotal = 4 << 20;
+  TcpListener listener;
+  std::atomic<bool> stop{false};
+
+  std::thread client([&] {
+    auto conn = TcpConnection::connect("127.0.0.1", listener.port());
+    auto gen = corpus::make_generator(corpus::Compressibility::kLow, 11);
+    common::Bytes chunk(64 * 1024);
+    for (std::size_t sent = 0; sent < kTotal; sent += chunk.size()) {
+      gen->generate(chunk);
+      conn.write(chunk);
+    }
+    conn.shutdown_send();
+  });
+  const pthread_t victim = client.native_handle();
+
+  std::thread pepper([&] {
+    while (!stop.load()) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  auto server = listener.accept();
+  std::uint64_t received = 0;
+  for (;;) {
+    const auto chunk = server.read(32 * 1024);
+    if (chunk.empty()) break;
+    received += chunk.size();
+  }
+  stop = true;
+  client.join();
+  pepper.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  EXPECT_EQ(received, kTotal);
+}
+
+TEST(TcpHardening, NonblockingFdsKeepBlockingSemantics) {
+  // With O_NONBLOCK set on both ends and a payload far beyond the socket
+  // buffers, write() must poll()-wait through EAGAIN and still write all;
+  // read() must wait for data instead of failing.
+  constexpr std::size_t kTotal = 8 << 20;
+  TcpListener listener;
+
+  std::uint64_t sent_digest = 0;
+  std::thread client([&] {
+    auto conn = TcpConnection::connect("127.0.0.1", listener.port());
+    conn.set_nonblocking(true);
+    auto gen = corpus::make_generator(corpus::Compressibility::kLow, 13);
+    common::Xxh64State hash;
+    common::Bytes chunk(256 * 1024);
+    for (std::size_t sent = 0; sent < kTotal; sent += chunk.size()) {
+      gen->generate(chunk);
+      hash.update(chunk);
+      conn.write(chunk);  // must not drop bytes on EAGAIN
+    }
+    conn.shutdown_send();
+    sent_digest = hash.digest();
+  });
+
+  auto server = listener.accept();
+  server.set_nonblocking(true);
+  common::Xxh64State hash;
+  std::uint64_t received = 0;
+  for (;;) {
+    const auto chunk = server.read(64 * 1024);
+    if (chunk.empty()) break;  // orderly EOF, not EAGAIN
+    hash.update(chunk);
+    received += chunk.size();
+  }
+  client.join();
+  EXPECT_EQ(received, kTotal);
+  EXPECT_EQ(hash.digest(), sent_digest);
+}
+
+TEST(TcpHardening, PeerResetMidFrameThrowsInsteadOfHanging) {
+  // The client aborts (SO_LINGER{1,0} => RST on close) halfway through a
+  // frame. The server must surface ECONNRESET as std::runtime_error — not
+  // EOF (which would silently truncate the stream) and not a hang.
+  TcpListener listener;
+  const auto& registry = compress::CodecRegistry::standard();
+  auto gen = corpus::make_generator(corpus::Compressibility::kModerate, 17);
+  const auto payload = corpus::take(*gen, 200000);
+  const auto frame = compress::encode_block(
+      *registry.level(1).codec, 1, payload);
+
+  std::thread client([&] {
+    auto conn = TcpConnection::connect("127.0.0.1", listener.port());
+    conn.write(common::ByteSpan(frame).first(frame.size() / 2));
+    struct linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ASSERT_EQ(::setsockopt(conn.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg),
+              0);
+    conn.close();  // RST
+  });
+
+  auto server = listener.accept();
+  compress::FrameAssembler assembler(registry);
+  EXPECT_THROW(
+      {
+        for (;;) {
+          const auto chunk = server.read(4096);
+          if (chunk.empty()) break;
+          assembler.feed(chunk);
+          while (assembler.next_block()) {
+          }
+        }
+      },
+      std::runtime_error);
+  client.join();
+}
+
+TEST(TcpHardening, WriteToResetPeerThrowsNoSigpipe) {
+  // The server accepts and aborts immediately; the client keeps writing.
+  // Without MSG_NOSIGNAL the second write would raise SIGPIPE and kill
+  // the process — the regression this test pins is "exception, always".
+  TcpListener listener;
+  auto conn = TcpConnection::connect("127.0.0.1", listener.port());
+  {
+    auto server = listener.accept();
+    struct linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ASSERT_EQ(::setsockopt(server.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                           sizeof lg),
+              0);
+  }  // closed with RST
+
+  const common::Bytes junk(64 * 1024, 0xAB);
+  EXPECT_THROW(
+      {
+        // The first writes may land in the kernel buffer before the RST
+        // is processed; bounded retries guarantee the error surfaces.
+        for (int i = 0; i < 1000; ++i) conn.write(junk);
+      },
+      std::runtime_error);
+}
+
+TEST(TcpHardening, BacklogAbsorbsConnectionBurst) {
+  // The soak dials hundreds of connections before the acceptor runs;
+  // listen(backlog) must hold a burst without refusing anyone.
+  constexpr int kBurst = 16;
+  TcpListener listener(0, /*backlog=*/kBurst);
+  std::vector<TcpConnection> clients;
+  clients.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    clients.push_back(TcpConnection::connect("127.0.0.1", listener.port()));
+    clients.back().write(common::as_bytes("x"));
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    auto server = listener.accept();
+    EXPECT_EQ(server.read(16).size(), 1u);
+  }
 }
 
 }  // namespace

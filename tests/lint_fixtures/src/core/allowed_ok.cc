@@ -3,6 +3,7 @@
 // the linter to report nothing here.
 #include <cstdio>
 #include <mutex>
+#include <sys/socket.h>
 
 // Interop with a pre-wrapper third-party callback that hands us a raw
 // mutex; sanctioned exception.
@@ -11,4 +12,9 @@ static std::mutex g_fixture_legacy_mu;
 
 void fixture_allowed_print(int v) {
   printf("%d\n", v);  // strato-lint: allow(stdout) — CLI tool output
+}
+
+int fixture_allowed_socket() {
+  // Diagnostics probe in a standalone CLI tool; sanctioned exception.
+  return ::socket(AF_INET, SOCK_DGRAM, 0);  // strato-lint: allow(socket)
 }

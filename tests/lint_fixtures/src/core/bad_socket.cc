@@ -1,0 +1,14 @@
+// Fixture: raw transport syscalls outside their sanctioned home,
+// src/core/{tcp,epoll_loop,transport}.* — every other layer must talk
+// through core::TcpConnection / core::TcpListener and core::EpollLoop.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+int fixture_bad_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int ep = epoll_create1(EPOLL_CLOEXEC);
+  struct epoll_event ev {};
+  epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);
+  epoll_wait(ep, &ev, 1, 0);
+  return fd + ep;
+}

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "metrics/proc_stat.h"
+#include "metrics/registry.h"
 #include "metrics/timeseries.h"
 
 namespace strato::metrics {
@@ -117,6 +120,72 @@ TEST(TimelineRecorder, SeriesManagementAndCsv) {
   EXPECT_NE(csv.find("\n0,1,0"), std::string::npos);   // b before first = 0
   EXPECT_NE(csv.find("\n1,1,5"), std::string::npos);
   EXPECT_NE(csv.find("\n2,2,5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry (metrics/registry.h)
+
+TEST(MetricRegistry, CounterAndGaugeResolveToStableAddresses) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("tx.wire_bytes");
+  Gauge& g = reg.gauge("tx.queued_bytes");
+  a.add();
+  a.add(41);
+  g.set(-7);
+  // Re-resolving by name yields the same node (std::map: stable).
+  EXPECT_EQ(&reg.counter("tx.wire_bytes"), &a);
+  EXPECT_EQ(&reg.gauge("tx.queued_bytes"), &g);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(g.value(), -7);
+  g.add(3);
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(MetricRegistry, SnapshotIsNameSorted) {
+  MetricRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.gauge("alpha").set(2);
+  reg.counter("mid").add(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_FALSE(snap[0].is_counter);
+  EXPECT_EQ(snap[0].value, 2);
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+}
+
+TEST(MetricRegistry, JsonIsDeterministicAcrossInsertionOrder) {
+  // Two registries fed the same values in different orders must render
+  // byte-identical JSON — the property the bench gate relies on.
+  MetricRegistry a;
+  a.counter("rx.blocks").add(5);
+  a.gauge("tx.queued_bytes").set(0);
+  a.counter("tx.frames").add(5);
+  MetricRegistry b;
+  b.counter("tx.frames").add(5);
+  b.counter("rx.blocks").add(2);
+  b.gauge("tx.queued_bytes").set(0);
+  b.counter("rx.blocks").add(3);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_json(),
+            "{\"rx.blocks\":5,\"tx.frames\":5,\"tx.queued_bytes\":0}");
+}
+
+TEST(MetricRegistry, ConcurrentAddsAreLossless) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace
