@@ -20,6 +20,10 @@ BUILD_DIR="${1:-build-asan}"
 scripts/check_static.sh --lint-only
 
 TESTS=(
+  # Pool poison-on-release first: the suite's death test proves a stale
+  # pooled span aborts with use-after-poison under this build
+  # (STRATO_POOL_POISON_DEFAULT_ON is set for every sanitizer flavour).
+  common_pool_poison_test
   compress_framing_test
   compress_golden_test
   compress_pipeline_test

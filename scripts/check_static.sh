@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Static gate: strato-lint (project rules) + lint selftest, then — when a
-# clang++ is on PATH — a full configure/build with -Wthread-safety
-# promoted to an error so every STRATO_GUARDED_BY / STRATO_REQUIRES
-# annotation in src/ is machine-checked. Under GCC-only containers the
-# thread-safety leg is skipped with a note; the lint gate always runs.
+# Static gate: strato-lint (project rules, including the `lifetime`
+# borrow-flow pass) + lint selftest, then — when a clang++ is on PATH — a
+# full configure/build with -Wthread-safety promoted to an error AND the
+# STRATO_LIFETIME_SAFETY dangling-borrow diagnostics promoted to errors,
+# so every STRATO_GUARDED_BY / STRATO_REQUIRES / STRATO_LIFETIME_BOUND
+# annotation in src/ is machine-checked. A clang-tidy pass (root
+# .clang-tidy: bugprone-*, clang-analyzer-*, concurrency-*,
+# performance-*) rides along via check_tidy.sh. Under GCC-only containers
+# the Clang legs are skipped with a note; the lint gate always runs.
 #
 # Usage: scripts/check_static.sh [--lint-only] [build-dir]
-#   --lint-only   skip the Clang thread-safety build (fast presubmit gate)
+#   --lint-only   skip the Clang builds (fast presubmit gate)
 #   build-dir     Clang build tree (default: build-threadsafety)
 set -euo pipefail
 
@@ -32,21 +36,31 @@ echo "== strato-lint: src/ =="
 "$PYTHON" scripts/strato_lint.py
 
 if [ "$LINT_ONLY" -eq 1 ]; then
-  echo "check_static: lint gate clean (--lint-only, thread-safety build skipped)."
+  echo "check_static: lint gate clean (--lint-only, Clang builds skipped)."
   exit 0
 fi
 
 CLANGXX="${CLANGXX:-clang++}"
 if ! command -v "$CLANGXX" >/dev/null 2>&1; then
-  echo "check_static: $CLANGXX not found — skipping -Wthread-safety build" \
-       "(annotations compile to nothing under GCC; lint gate is still binding)."
+  echo "check_static: $CLANGXX not found — skipping -Wthread-safety /" \
+       "lifetimebound build (both annotation families compile to nothing" \
+       "under GCC; the lint gate is still binding)."
+  # clang-tidy may still exist without a clang++ driver; it no-ops with a
+  # note when absent.
+  scripts/check_tidy.sh
   exit 0
 fi
 
-echo "== clang -Wthread-safety -Werror build =="
+echo "== clang -Wthread-safety + lifetimebound -Werror build =="
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_COMPILER="$CLANGXX" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSTRATO_THREAD_SAFETY=ON
+  -DSTRATO_THREAD_SAFETY=ON \
+  -DSTRATO_LIFETIME_SAFETY=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-echo "check_static: clean (lint + thread-safety)."
+
+# clang-tidy over the freshly exported compilation database (no-op with a
+# note when clang-tidy is not installed).
+scripts/check_tidy.sh "$BUILD_DIR"
+
+echo "check_static: clean (lint + thread-safety + lifetime)."

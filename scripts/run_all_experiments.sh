@@ -42,6 +42,16 @@ if ! "$SCRIPT_DIR/check_bench.sh" "$BUILD"; then
   status=1
 fi
 
+# UBSan leg: numbers produced by a build with latent undefined behaviour
+# are not trustworthy numbers. Opt out with STRATO_SKIP_UBSAN=1 (e.g.
+# when iterating on bench output only).
+if [ "${STRATO_SKIP_UBSAN:-0}" != "1" ]; then
+  if ! "$SCRIPT_DIR/check_ubsan.sh"; then
+    echo "!!! UBSan gate failed" >&2
+    status=1
+  fi
+fi
+
 # Single-core kernel trajectory as a standalone JSON artifact (the same
 # bench also runs inside the glob above and the check_bench.sh gate; this
 # copy is the one plots and PR descriptions reference).

@@ -49,6 +49,21 @@ into every presubmit script (check_static.sh runs this first):
                    TcpListener and EpollLoop, so fd lifetimes, SIGPIPE
                    discipline and event-loop invariants stay auditable in
                    one place.
+  lifetime         flow-aware (brace/token-aware, per-function) borrow
+                   check for the pooled zero-copy wire path: a span/view
+                   derived from pooled storage (recv_span(), span_of(),
+                   .span()/.mutable_span(), writable_tail()/unparsed(),
+                   try_parse_frame(), next_block()) must not be (a) stored
+                   into a member or global, (b) used after a
+                   release()/commit()/retire/drop point in the same
+                   function, or (c) captured by reference in a lambda.
+                   Every sanctioned escape carries an explicit
+                   `// strato-lint: allow(lifetime)` with a reason, so
+                   each borrow that outlives a statement is a reviewable
+                   artifact — the lint-time layer of the three-layer
+                   lifetime discipline (STRATO_LIFETIME_BOUND at compile
+                   time, BufferPool poisoning at run time; DESIGN.md
+                   section 14).
   pragma-once      every header starts with #pragma once.
   using-namespace  `using namespace std` is banned in src/.
   include-path     project includes are "dir/file.h" from the src/ root:
@@ -167,6 +182,257 @@ RULES = {
 NODISCARD_DECL = re.compile(
     r"^\s*(?:virtual\s+)?(?:bool\s+try_\w+|std::optional<[^;=]*>\s+\w+)\s*\("
 )
+
+# --------------------------------------------------------------------------
+# lifetime rule: a flow pass over each function body (the other rules are
+# line-shaped; this one needs statement order and scope).
+# --------------------------------------------------------------------------
+
+# Expressions that mint a borrow of pooled storage. Note BufferPool::
+# acquire() is absent on purpose: it transfers ownership, the borrows
+# start at the span accessors layered on top.
+LIFETIME_SOURCE_RE = re.compile(
+    r"\b(?:recv_span|try_parse_frame|writable_tail|unparsed|span_of)\s*\("
+    r"|\.\s*(?:span|mutable_span)\s*\(\s*\)"
+    r"|\bnext_block\s*\(\s*\)")
+
+# Calls after which previously minted borrows are dead: the pool may have
+# reclaimed (and, in poison mode, stamped) the storage behind them.
+LIFETIME_RELEASE_RE = re.compile(
+    r"\b(?:release|commit|retire_segments|drop_lease)\s*\(")
+
+# Accessors on a pooled view that produce a VALUE (safe to store), not a
+# borrow: copying a FrameHeader or a size out of a view is fine.
+LIFETIME_VALUEISH_RE = re.compile(
+    r"^\s*(?:\.|->)\s*(?:header|frame_size|size|empty|capacity|length)\b")
+
+# Assignment to a local (possibly `var.field = ...`): group 1 the base
+# variable, group 2 the right-hand side.
+LIFETIME_ASSIGN_RE = re.compile(
+    r"^\s*(?:[\w:<>,\s&*]+?\s)?([A-Za-z_]\w*)"
+    r"(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)?\s*"
+    r"(?<![=!<>+\-*/|&^])=(?![=])\s*(.+)$")
+
+# Store into a member (project convention: trailing underscore, or an
+# explicit this->) or a global (g_ prefix): plain assignment or a
+# container insertion that keeps the value alive past the statement.
+LIFETIME_MEMBER_STORE_RE = re.compile(
+    r"^\s*(?:this\s*->\s*)?(?:[A-Za-z_]\w*_|g_\w+)\b"
+    r"[\w.\[\]\s>-]*(?<![=!<>+\-*/|&^])=(?![=])\s*(.+)$")
+LIFETIME_MEMBER_INSERT_RE = re.compile(
+    r"\b(?:this\s*->\s*)?(?:[A-Za-z_]\w*_|g_\w+)\s*\.\s*"
+    r"(?:push_back|push_front|emplace_back|emplace_front|insert|assign)"
+    r"\s*\(([^;]*)")
+
+# Lambda capture list (only when it is actually a lambda: followed by a
+# parameter list or a body brace).
+LIFETIME_LAMBDA_RE = re.compile(r"\[([^\]\[]*)\]\s*(?:\([^)]*\))?\s*\{")
+
+# Function-header blacklist: a '(' after one of these is control flow or
+# an operator, not a function definition.
+NON_FUNCTION_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "alignas", "decltype", "static_assert", "new", "delete",
+    "co_return", "co_await", "throw", "assert",
+}
+
+
+def strip_strings(line):
+    """Blank out the contents of string and char literals so braces and
+    identifiers inside them do not confuse the token scan. Quotes are
+    kept; escapes are honoured."""
+    out = []
+    i = 0
+    quote = None
+    while i < len(line):
+        ch = line[i]
+        if quote is not None:
+            if ch == "\\" and i + 1 < len(line):
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+                out.append(ch)
+            else:
+                out.append(" ")
+        else:
+            if ch in "\"'":
+                quote = ch
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def looks_like_function_header(header):
+    """Heuristic: does the accumulated statement text before a `{` look
+    like a function definition (vs control flow, a class, an initializer)?"""
+    h = header.strip()
+    if "(" not in h or not h or h.endswith(("=", ",")):
+        return False
+    m = re.search(r"([~A-Za-z_][\w:~]*)\s*\(", h)
+    if m is None:
+        return False
+    name = m.group(1).split("::")[-1].lstrip("~")
+    if name in NON_FUNCTION_KEYWORDS:
+        return False
+    # `Type obj{...}` has no '('; `enum class E : int {` has none either —
+    # both already excluded. Reject aggregate types defined with bodies.
+    if re.match(r"^(?:typedef\s+)?(?:struct|class|union|enum|namespace)\b",
+                h):
+        return False
+    return True
+
+
+def function_bodies(code_lines):
+    """Token scan over comment/string-stripped lines. Returns a list of
+    (first_line_idx, [body line indices]) — one entry per function-shaped
+    brace block; nested blocks (loops, lambdas, local classes) stay inside
+    their enclosing function's entry."""
+    bodies = []
+    depth = 0
+    fn_depth = None  # brace depth at which the current function body opened
+    current = None
+    header = ""
+    for idx, line in enumerate(code_lines):
+        for ch in line:
+            if ch == "{":
+                if fn_depth is None and looks_like_function_header(header):
+                    fn_depth = depth
+                    current = (idx, [])
+                depth += 1
+                header = ""
+            elif ch == "}":
+                depth = max(0, depth - 1)
+                if fn_depth is not None and depth == fn_depth:
+                    bodies.append(current)
+                    current = None
+                    fn_depth = None
+                header = ""
+            elif ch == ";":
+                header = ""
+            else:
+                header += ch
+        header += " "
+        if current is not None:
+            current[1].append(idx)
+    return bodies
+
+
+def lifetime_borrowish_use(rhs, var):
+    """True when `var` appears in `rhs` as a borrow (the var itself, its
+    span fields, .data()/.subspan(...)), not merely as a copied-out value
+    (.header, .size(), ...)."""
+    for m in re.finditer(r"\b%s\b" % re.escape(var), rhs):
+        rest = rhs[m.end():]
+        if not LIFETIME_VALUEISH_RE.match(rest):
+            return True
+    return False
+
+
+# Wrappers that forward a borrow instead of consuming it by value: span
+# constructors, std::move/forward, std::optional of a view.
+LIFETIME_SPAN_WRAPPER_RE = re.compile(
+    r"(?:(?:common|std)::)?(?:Mutable)?ByteSpan$|(?:std::)?(?:move|forward)$"
+    r"|(?:std::)?(?:optional|make_optional)$|subspan$|first$|last$")
+
+
+def lifetime_rhs_mints_borrow(rhs, pooled_vars):
+    """Does evaluating `rhs` produce a borrow of pooled storage? A source
+    call nested inside some other function call is consumed by that call
+    (`parse_header(seg.unparsed())` copies a header out by value) unless
+    the outer call is a span wrapper that forwards the borrow."""
+    pos = 0
+    while True:
+        m = LIFETIME_SOURCE_RE.search(rhs, pos)
+        if m is None:
+            break
+        pos = m.end()
+        # Position of the outermost unmatched '(' before the source call.
+        stack = []
+        for i, ch in enumerate(strip_strings(rhs[:m.start()])):
+            if ch == "(":
+                stack.append(i)
+            elif ch == ")" and stack:
+                stack.pop()
+        if not stack:
+            return True  # top-level source expression: a borrow
+        outer = rhs[:stack[0]].rstrip()
+        mm = re.search(r"([A-Za-z_][\w:]*)\s*$", outer)
+        if mm is not None and LIFETIME_SPAN_WRAPPER_RE.search(mm.group(1)):
+            return True
+    return any(lifetime_borrowish_use(rhs, v) for v in pooled_vars)
+
+
+def lint_lifetime(path_rel, raw_lines, code_lines, report):
+    """The flow pass: track locals derived from pooled storage through
+    each function body, flag member/global stores, uses across a
+    release()/commit() point, and by-reference lambda captures."""
+    stripped = [strip_strings(line) for line in code_lines]
+    for _, body in function_bodies(stripped):
+        pooled = {}          # var -> line idx where the borrow was minted
+        release_at = None    # line idx of the first release point seen
+        for idx in body:
+            code = stripped[idx]
+            if not code.strip():
+                continue
+
+            assign = LIFETIME_ASSIGN_RE.match(code)
+            # Re-deriving a var from a fresh source revives it (loop
+            # bodies: recv_span -> commit -> recv_span again).
+            rederived = None
+            if assign:
+                var, rhs = assign.group(1), assign.group(2)
+                rhs_pooled = lifetime_rhs_mints_borrow(rhs, pooled)
+                if rhs_pooled:
+                    if LIFETIME_MEMBER_STORE_RE.match(code):
+                        report(idx, "pooled span stored into a member/"
+                                    "global outlives its lease")
+                    else:
+                        pooled[var] = idx
+                        rederived = var
+                elif var in pooled and "." not in code.split("=")[0] \
+                        and "->" not in code.split("=")[0]:
+                    # Whole-object reassignment from a non-pooled value
+                    # ends the borrow.
+                    del pooled[var]
+
+            # Container insertion into a member keeps the borrow alive
+            # past the statement.
+            mins = LIFETIME_MEMBER_INSERT_RE.search(code)
+            if mins and lifetime_rhs_mints_borrow(mins.group(1), pooled):
+                report(idx, "pooled span inserted into a member container "
+                            "outlives its lease")
+
+            # Use-after-release: any borrow minted before the release
+            # point is dead past it.
+            if release_at is not None:
+                for var, minted in pooled.items():
+                    if var == rederived or minted > release_at:
+                        continue
+                    if re.search(r"\b%s\b" % re.escape(var), code):
+                        report(idx, f"pooled span '{var}' used after a "
+                                    "release()/commit() point")
+
+            # By-reference lambda capture: deferred execution may outlive
+            # the lease.
+            for lam in LIFETIME_LAMBDA_RE.finditer(code):
+                caps = lam.group(1)
+                if "&" not in caps:
+                    continue
+                explicit = re.findall(r"&\s*([A-Za-z_]\w*)", caps)
+                hit = [v for v in explicit if v in pooled]
+                default_ref = re.match(r"^\s*&\s*(?:,|$)", caps) is not None
+                body_after = code[lam.end():]
+                if hit or (default_ref and any(
+                        re.search(r"\b%s\b" % re.escape(v), body_after)
+                        for v in pooled)):
+                    report(idx, "pooled span captured by reference in a "
+                                "lambda (deferred use may outlive the "
+                                "lease)")
+
+            if LIFETIME_RELEASE_RE.search(code) and release_at is None:
+                release_at = idx
 
 ALLOW_RE = re.compile(r"//\s*strato-lint:\s*allow\(([^)]*)\)")
 
@@ -293,6 +559,14 @@ def lint_file(path: Path, rel: str):
                 findings.append(Finding(
                     rel, line_no, "nodiscard",
                     "status-returning API lacks [[nodiscard]]"))
+
+    # The lifetime rule runs as a separate per-function flow pass: it
+    # needs statement order and function scope, not just line shape.
+    def report_lifetime(idx, message):
+        if "lifetime" not in allowed_rules(raw_lines, idx):
+            findings.append(Finding(rel, idx + 1, "lifetime", message))
+
+    lint_lifetime(rel, raw_lines, code_lines, report_lifetime)
     return findings
 
 
@@ -325,6 +599,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("core/bad_socket.cc", "socket"): 4,
     ("compress/bad_simd.cc", "simd"): 5,
     ("vsim/fleet.cc", "fleet-alloc"): 3,
+    ("compress/bad_lifetime.cc", "lifetime"): 6,
 }
 
 

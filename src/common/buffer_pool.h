@@ -8,15 +8,30 @@
 // bounded free list of Bytes buffers so steady-state compression recycles
 // the same few blocks of memory instead of round-tripping the allocator.
 //
+// Lifetime discipline (DESIGN.md section 14): every span handed out over a
+// pooled buffer is a borrow that dies with the buffer's lease. The borrow
+// is machine-checked at three layers — STRATO_LIFETIME_BOUND annotations
+// (compile time, Clang), the strato-lint `lifetime` flow rule (lint time),
+// and this pool's debug mode (run time): when poisoning is enabled
+// (default-on in Debug and sanitizer builds, STRATO_POOL_POISON=0/1
+// overrides), release() stamps the buffer with kPoisonByte, bumps its
+// generation tag, optionally parks it in a quarantine FIFO to delay reuse,
+// and — under AddressSanitizer — poisons the memory region so any stale
+// span dereference aborts deterministically instead of shipping a corrupt
+// frame. acquire() unpoisons before handing the buffer back out.
+//
 // Thread-safe: the parallel pipeline's workers acquire/release frames
 // concurrently with the submitting thread recycling raw-block copies.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/lifetime_annotations.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -25,9 +40,14 @@ namespace strato::common {
 /// Bounded free list of reusable byte buffers.
 class BufferPool {
  public:
+  /// Pattern stamped over released bytes in poison mode: a stale span read
+  /// observes 0xA5 instead of the frame that used to live there.
+  static constexpr std::uint8_t kPoisonByte = 0xA5;
+
   /// @param max_buffers free-list bound; released buffers beyond it are
   ///                    dropped (freed) instead of retained.
   explicit BufferPool(std::size_t max_buffers = 32);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -37,8 +57,30 @@ class BufferPool {
   [[nodiscard]] Bytes acquire(std::size_t min_capacity);
 
   /// Return a buffer to the pool. Contents are irrelevant; the buffer is
-  /// dropped when the free list is full.
+  /// dropped when the free list is full. In poison mode the contents are
+  /// stamped with kPoisonByte and the buffer's generation tag is bumped
+  /// before it becomes reusable — any span still pointing into it is dead.
   void release(Bytes buf);
+
+  /// Poison-on-release debug mode. Defaults to the build-wide setting
+  /// (STRATO_POOL_POISON_DEFAULT_ON in Debug/sanitizer builds) overridden
+  /// by the STRATO_POOL_POISON=0/1 environment variable; this call
+  /// overrides both for this pool.
+  void set_poison(bool enabled);
+  [[nodiscard]] bool poison_enabled() const;
+
+  /// Quarantine FIFO depth: released buffers pass through a FIFO of this
+  /// many buffers before re-entering the free list, so a stale span keeps
+  /// pointing at poisoned (ASan: inaccessible) memory for longer instead
+  /// of silently aliasing the next acquire. 0 disables (default; the
+  /// STRATO_POOL_QUARANTINE environment variable sets the initial depth).
+  void set_quarantine(std::size_t depth);
+
+  /// Generation tag of the pooled allocation starting at `data`: bumped on
+  /// every release of that buffer, so a lease-holder can assert its span
+  /// is still current. 0 = unknown allocation (never pooled here, or
+  /// dropped). Tags are tracked only while poison mode is enabled.
+  [[nodiscard]] std::uint64_t generation(const void* data) const;
 
   /// Counters for tests and benches.
   struct Stats {
@@ -46,6 +88,10 @@ class BufferPool {
     std::uint64_t reuses = 0;    ///< acquires served from the free list
     std::uint64_t drops = 0;     ///< releases dropped because the list was full
     std::size_t free_buffers = 0;
+    std::uint64_t poisons = 0;      ///< releases that stamped kPoisonByte
+    std::uint64_t unpoisons = 0;    ///< acquires that unpoisoned a buffer
+    std::size_t quarantined = 0;    ///< buffers currently parked in the FIFO
+    std::uint64_t generations = 0;  ///< sum of all generation bumps
   };
   [[nodiscard]] Stats stats() const;
 
@@ -54,33 +100,62 @@ class BufferPool {
   static BufferPool& shared();
 
  private:
+  /// Stamp + tag + ASan-poison under mu_; returns false when the buffer
+  /// has no backing allocation (capacity 0 — nothing to poison).
+  void poison_locked(Bytes& buf) STRATO_REQUIRES(mu_);
+  /// Undo the ASan poisoning and drop the quarantine hold before a buffer
+  /// is handed out or freed.
+  void unpoison_locked(Bytes& buf) STRATO_REQUIRES(mu_);
+  /// Move quarantined buffers whose hold expired onto the free list (or
+  /// drop them when the list is full).
+  void drain_quarantine_locked() STRATO_REQUIRES(mu_);
+
   mutable Mutex mu_{"BufferPool::mu_"};
   std::vector<Bytes> free_ STRATO_GUARDED_BY(mu_);
   std::size_t max_buffers_;
+  bool poison_ STRATO_GUARDED_BY(mu_);
+  std::size_t quarantine_depth_ STRATO_GUARDED_BY(mu_);
+  std::deque<Bytes> quarantine_ STRATO_GUARDED_BY(mu_);
+  /// data() pointer -> generation tag. Populated only in poison mode;
+  /// entries die when their buffer is dropped from the pool.
+  std::unordered_map<const void*, std::uint64_t> gen_ STRATO_GUARDED_BY(mu_);
   std::uint64_t acquires_ STRATO_GUARDED_BY(mu_) = 0;
   std::uint64_t reuses_ STRATO_GUARDED_BY(mu_) = 0;
   std::uint64_t drops_ STRATO_GUARDED_BY(mu_) = 0;
+  std::uint64_t poisons_ STRATO_GUARDED_BY(mu_) = 0;
+  std::uint64_t unpoisons_ STRATO_GUARDED_BY(mu_) = 0;
+  std::uint64_t generations_ STRATO_GUARDED_BY(mu_) = 0;
 };
 
-/// RAII lease: acquire on construction, release on scope exit.
-class PooledBuffer {
+/// RAII lease: acquire on construction, release (poison) on scope exit.
+/// Spans taken from the lease are borrows of the lease object — annotated
+/// so a Clang build rejects keeping one past the lease's death.
+class PoolLease {
  public:
-  PooledBuffer(BufferPool& pool, std::size_t min_capacity)
+  PoolLease(BufferPool& pool, std::size_t min_capacity)
       : pool_(&pool), buf_(pool.acquire(min_capacity)) {}
-  ~PooledBuffer() {
+  ~PoolLease() {
     if (pool_ != nullptr) pool_->release(std::move(buf_));
   }
 
-  PooledBuffer(PooledBuffer&& other) noexcept
+  PoolLease(PoolLease&& other) noexcept
       : pool_(other.pool_), buf_(std::move(other.buf_)) {
     other.pool_ = nullptr;
   }
-  PooledBuffer(const PooledBuffer&) = delete;
-  PooledBuffer& operator=(const PooledBuffer&) = delete;
-  PooledBuffer& operator=(PooledBuffer&&) = delete;
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  PoolLease& operator=(PoolLease&&) = delete;
 
-  [[nodiscard]] Bytes& operator*() { return buf_; }
-  [[nodiscard]] Bytes* operator->() { return &buf_; }
+  [[nodiscard]] Bytes& operator*() STRATO_LIFETIME_BOUND { return buf_; }
+  [[nodiscard]] Bytes* operator->() STRATO_LIFETIME_BOUND { return &buf_; }
+  /// Read view of the leased bytes; dies with the lease.
+  [[nodiscard]] ByteSpan span() const STRATO_LIFETIME_BOUND {
+    return {buf_.data(), buf_.size()};
+  }
+  /// Writable view of the leased bytes; dies with the lease.
+  [[nodiscard]] MutableByteSpan mutable_span() STRATO_LIFETIME_BOUND {
+    return {buf_.data(), buf_.size()};
+  }
 
  private:
   BufferPool* pool_;

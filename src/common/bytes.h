@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lifetime_annotations.h"
+
 namespace strato::common {
 
 /// Immutable view over raw bytes.
@@ -22,9 +24,23 @@ using MutableByteSpan = std::span<std::uint8_t>;
 /// Owning byte buffer.
 using Bytes = std::vector<std::uint8_t>;
 
-/// Reinterpret a string's contents as bytes (no copy).
-inline ByteSpan as_bytes(std::string_view s) {
+/// Reinterpret a string's contents as bytes (no copy). The span borrows
+/// `s`'s storage — calling this on a temporary string dangles, and a
+/// Clang build says so at compile time.
+inline ByteSpan as_bytes(std::string_view s STRATO_LIFETIME_BOUND) {
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Read view over an owning buffer (no copy). Borrows `b` — the span dies
+/// with the buffer (or its next reallocation), which matters doubly for
+/// pooled buffers whose release() poisons the storage.
+inline ByteSpan span_of(const Bytes& b STRATO_LIFETIME_BOUND) {
+  return {b.data(), b.size()};
+}
+
+/// Writable view over an owning buffer (no copy); same borrow rules.
+inline MutableByteSpan span_of(Bytes& b STRATO_LIFETIME_BOUND) {
+  return {b.data(), b.size()};
 }
 
 /// Copy a byte span into a std::string (for tests / debugging).

@@ -100,6 +100,7 @@ void Xxh64State::reset(std::uint64_t seed) {
 }
 
 void Xxh64State::update(ByteSpan data) {
+  if (data.empty()) return;  // empty spans carry a null data() — no-op
   const std::uint8_t* p = data.data();
   std::size_t len = data.size();
   total_len_ += len;

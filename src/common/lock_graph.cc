@@ -18,11 +18,25 @@ struct Held {
   const char* name;
 };
 
-/// Per-thread stack of currently-held mutexes. Function-local so the
-/// thread_local is constructed on first use per thread.
-std::vector<Held>& held_stack() {
-  thread_local std::vector<Held> stack;
-  return stack;
+/// Per-thread stack of currently-held mutexes, wrapped so the detector
+/// can tell when the stack has been torn down: TLS destructors run
+/// before static destructors on the main thread, so a static-duration
+/// Mutex locked during exit teardown must see "stack is dead" instead of
+/// pushing into a vector whose heap buffer was already freed.
+struct HeldStack {
+  std::vector<Held> stack;
+  bool dead = false;
+  ~HeldStack() {
+    dead = true;
+    stack = {};
+  }
+};
+
+/// Function-local so the thread_local is constructed on first use per
+/// thread; nullptr once this thread's TLS has been destroyed.
+std::vector<Held>* held_stack() {
+  thread_local HeldStack tls;
+  return tls.dead ? nullptr : &tls.stack;
 }
 
 }  // namespace
@@ -91,7 +105,9 @@ bool LockGraph::enabled() const {
 void LockGraph::on_acquire(const Mutex* m, const char* name) {
   Impl& im = impl();
   if (!im.enabled.load(std::memory_order_relaxed)) return;
-  auto& held = held_stack();
+  auto* held_tls = held_stack();
+  if (held_tls == nullptr) return;  // exit teardown: this thread's TLS died
+  auto& held = *held_tls;
   if (!held.empty()) {
     std::lock_guard lk(im.mu);  // strato-lint: allow(raw-mutex)
     for (const Held& h : held) {
@@ -123,7 +139,9 @@ void LockGraph::on_release(const Mutex* m) {
   // Unwind unconditionally (even when disabled) so toggling the detector
   // mid-flight cannot leave phantom held locks behind. Locks may be
   // released in any order; search from the most recent acquisition.
-  auto& held = held_stack();
+  auto* held_tls = held_stack();
+  if (held_tls == nullptr) return;  // exit teardown: this thread's TLS died
+  auto& held = *held_tls;
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
     if (it->m == m) {
       held.erase(std::next(it).base());

@@ -24,7 +24,7 @@ std::size_t NullCodec::compress(common::ByteSpan src,
   if (dst.size() < src.size()) {
     throw CodecError("null codec: destination too small");
   }
-  std::memcpy(dst.data(), src.data(), src.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
   return src.size();
 }
 
@@ -33,7 +33,7 @@ std::size_t NullCodec::decompress(common::ByteSpan src,
   if (dst.size() != src.size()) {
     throw CodecError("null codec: size mismatch");
   }
-  std::memcpy(dst.data(), src.data(), src.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
   return src.size();
 }
 

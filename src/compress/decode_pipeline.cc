@@ -107,7 +107,7 @@ void ParallelBlockDecodePipeline::append_wire(common::ByteSpan data) {
   Segment* seg = ensure_free(data.size());
   // The receive append: the one sanctioned wire-byte copy on this path
   // (recv_span()/commit() skips even this one).
-  std::memcpy(seg->data.data() + seg->fill, data.data(), data.size());
+  std::memcpy(seg->writable_tail().data(), data.data(), data.size());
   seg->fill += data.size();
 }
 
@@ -123,7 +123,7 @@ common::MutableByteSpan ParallelBlockDecodePipeline::recv_span(
   }
   Segment* seg = ensure_free(min_bytes);
   recv_seg_ = seg;
-  return {seg->data.data() + seg->fill, seg->data.size() - seg->fill};
+  return seg->writable_tail();
 }
 
 void ParallelBlockDecodePipeline::commit(std::size_t n) {
@@ -157,8 +157,7 @@ void ParallelBlockDecodePipeline::parse_available() {
     if (pending_frame_size_ == 0) {
       if (avail < kFrameHeaderSize) return;
       try {
-        pending_hdr_ = parse_header(
-            common::ByteSpan(seg.data.data() + seg.parse_off, avail));
+        pending_hdr_ = parse_header(seg.unparsed());
       } catch (...) {
         // Poison at this exact frame position; rethrown (sticky) once
         // every preceding frame has been delivered — serial order.
@@ -172,9 +171,8 @@ void ParallelBlockDecodePipeline::parse_available() {
 
     ParsedFrame pf;
     pf.header = pending_hdr_;
-    pf.payload = common::ByteSpan(
-        seg.data.data() + seg.parse_off + kFrameHeaderSize,
-        pending_hdr_.comp_size);
+    pf.payload = seg.unparsed().subspan(kFrameHeaderSize,
+                                        pending_hdr_.comp_size);
     pf.segment = &seg;
     pf.frame_size = pending_frame_size_;
     {
@@ -184,7 +182,11 @@ void ParallelBlockDecodePipeline::parse_available() {
     seg.parse_off += pending_frame_size_;
     pending_frame_size_ = 0;
     ++parsed_seq_;
-    parsed_.push_back(pf);
+    // The parsed frame's payload span legitimately outlives this
+    // statement: Segment::outstanding was incremented above, so the
+    // segment cannot retire to the pool until the frame's decode
+    // finishes — the queued borrow is lease-backed by construction.
+    parsed_.push_back(pf);  // strato-lint: allow(lifetime)
   }
 }
 

@@ -48,6 +48,7 @@
 
 #include "common/buffer_pool.h"
 #include "common/bytes.h"
+#include "common/lifetime_annotations.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -102,8 +103,12 @@ class ParallelBlockDecodePipeline {
   /// from, so the feed()-path copy disappears entirely. Calling feed(),
   /// next_block() or recv_span() again before commit() invalidates the
   /// span. On a poisoned stream the span points at scratch the parser
-  /// will never look at (drain-and-discard).
-  [[nodiscard]] common::MutableByteSpan recv_span(std::size_t min_bytes);
+  /// will never look at (drain-and-discard). The span borrows pipeline-
+  /// owned pooled storage (lifetimebound): storing it anywhere that
+  /// outlives the commit() is a lifetime bug the strato-lint `lifetime`
+  /// rule flags and pool poisoning catches at run time.
+  [[nodiscard]] common::MutableByteSpan recv_span(std::size_t min_bytes)
+      STRATO_LIFETIME_BOUND;
 
   /// Account `n` bytes written into the last recv_span() and parse/
   /// dispatch any frames they complete. @param n must be <= the span's
@@ -112,12 +117,16 @@ class ParallelBlockDecodePipeline {
 
   /// Deliver the next block in wire order, or nullopt if more bytes are
   /// needed. Blocks only while the head frame is still decoding. The
-  /// returned view invalidates the previous one. @throws CodecError with
-  /// the same error, at the same block position, as the serial path.
-  [[nodiscard]] std::optional<DecodedBlock> next_block();
+  /// returned view invalidates the previous one (the block's `data` span
+  /// borrows the pipeline's pooled lease — lifetimebound). @throws
+  /// CodecError with the same error, at the same block position, as the
+  /// serial path.
+  [[nodiscard]] std::optional<DecodedBlock> next_block() STRATO_LIFETIME_BOUND;
 
   /// Header of the most recently delivered block.
-  [[nodiscard]] const FrameHeader& last_header() const { return last_; }
+  [[nodiscard]] const FrameHeader& last_header() const STRATO_LIFETIME_BOUND {
+    return last_;
+  }
 
   /// Wire bytes fed but not yet delivered as decoded blocks.
   [[nodiscard]] std::size_t pending() const {
@@ -159,6 +168,18 @@ class ParallelBlockDecodePipeline {
     std::size_t parse_off = 0;   // feeding-thread parse cursor
     std::uint32_t outstanding = 0;  // under mu_ once workers exist
     bool sealed = false;         // no further appends
+
+    /// Writable space past the wire bytes — the recv_span()/append target.
+    /// Borrows the segment's pooled storage; dead once the segment is
+    /// retired to the pool.
+    [[nodiscard]] common::MutableByteSpan writable_tail()
+        STRATO_LIFETIME_BOUND {
+      return {data.data() + fill, data.size() - fill};
+    }
+    /// Wire bytes at the parse cursor not yet consumed as frames.
+    [[nodiscard]] common::ByteSpan unparsed() const STRATO_LIFETIME_BOUND {
+      return {data.data() + parse_off, fill - parse_off};
+    }
   };
 
   /// A parsed frame waiting for a free reorder-window slot. The payload

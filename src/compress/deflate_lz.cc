@@ -163,7 +163,7 @@ std::size_t DeflateLz::compress(common::ByteSpan src,
 
   if (out.size() >= src.size()) {
     dst[0] = kMarkerStored;
-    std::memcpy(dst.data() + 1, src.data(), src.size());
+    if (!src.empty()) std::memcpy(dst.data() + 1, src.data(), src.size());
     return src.size() + 1;
   }
   std::memcpy(dst.data(), out.data(), out.size());
@@ -179,7 +179,7 @@ std::size_t DeflateLz::decompress(common::ByteSpan src,
     if (body.size() != dst.size()) {
       throw CodecError("deflatelz: stored size mismatch");
     }
-    std::memcpy(dst.data(), body.data(), body.size());
+    if (!body.empty()) std::memcpy(dst.data(), body.data(), body.size());
     return dst.size();
   }
   if (marker != kMarkerCoded) throw CodecError("deflatelz: bad marker");

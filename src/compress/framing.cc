@@ -26,8 +26,10 @@ std::size_t encode_block_into(const Codec& codec, std::uint8_t level,
     // payload copy in the encoder.
     comp_size = payload.size();
     codec_id = kCodecNull;
-    std::memcpy(frame.data() + kFrameHeaderSize,  // strato-lint: allow(copy)
-                payload.data(), payload.size());
+    if (!payload.empty()) {
+      std::memcpy(frame.data() + kFrameHeaderSize,  // strato-lint: allow(copy)
+                  payload.data(), payload.size());
+    }
   }
   frame.resize(kFrameHeaderSize + comp_size);
 

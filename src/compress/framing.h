@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/lifetime_annotations.h"
 #include "compress/codec.h"
 
 namespace strato::compress {
@@ -78,9 +79,13 @@ struct FrameView {
 };
 
 /// Parse one complete frame from the front of `buf` without copying.
+/// The returned view's payload borrows `buf`'s storage (lifetimebound):
+/// it dies when the underlying buffer moves, reallocates, or — for pooled
+/// receive segments — is released back to its BufferPool.
 /// @returns nullopt when more bytes are needed (short header or short
 /// payload). @throws CodecError on a malformed header.
-[[nodiscard]] std::optional<FrameView> try_parse_frame(common::ByteSpan buf);
+[[nodiscard]] std::optional<FrameView> try_parse_frame(
+    common::ByteSpan buf STRATO_LIFETIME_BOUND);
 
 /// Decode a parsed frame in place: decompress `view.payload` into `raw`
 /// (resized to header.raw_size, reusing capacity — typically a pooled
@@ -118,7 +123,9 @@ class FrameAssembler {
   [[nodiscard]] std::optional<common::Bytes> next_block();
 
   /// Header of the most recently returned block (level/codec statistics).
-  [[nodiscard]] const FrameHeader& last_header() const { return last_; }
+  [[nodiscard]] const FrameHeader& last_header() const STRATO_LIFETIME_BOUND {
+    return last_;
+  }
 
   /// Bytes buffered but not yet consumed.
   [[nodiscard]] std::size_t pending() const { return buf_.size() - off_; }

@@ -231,7 +231,7 @@ std::size_t HeavyLz::compress(common::ByteSpan src,
   if (coded.size() + 1 >= src.size()) {
     // Entropy coding lost; store raw (keeps the worst-case bound tight).
     dst[0] = kMarkerStored;
-    std::memcpy(dst.data() + 1, src.data(), src.size());
+    if (!src.empty()) std::memcpy(dst.data() + 1, src.data(), src.size());
     return src.size() + 1;
   }
   dst[0] = kMarkerCoded;
@@ -248,7 +248,7 @@ std::size_t HeavyLz::decompress(common::ByteSpan src,
     if (body.size() != dst.size()) {
       throw CodecError("heavylz: stored size mismatch");
     }
-    std::memcpy(dst.data(), body.data(), body.size());
+    if (!body.empty()) std::memcpy(dst.data(), body.data(), body.size());
     return dst.size();
   }
   if (marker != kMarkerCoded) throw CodecError("heavylz: bad marker");

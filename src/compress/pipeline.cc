@@ -55,7 +55,9 @@ void ParallelBlockPipeline::submit(int level, common::ByteSpan payload) {
   slot.error = nullptr;
   slot.raw = pool_.acquire(payload.size());
   slot.raw.resize(payload.size());
-  std::memcpy(slot.raw.data(), payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(slot.raw.data(), payload.data(), payload.size());
+  }
 
   workers_.submit([this, seq] { compress_slot(seq); });
 }

@@ -25,7 +25,7 @@ void roll(common::Bytes& history, common::ByteSpan added,
 common::Bytes StreamingLzCompressor::compress_block(common::ByteSpan raw) {
   // Contiguous work buffer (retained window followed by the new block),
   // recycled through the shared pool — one fewer per-block allocation.
-  common::PooledBuffer buffer(common::BufferPool::shared(),
+  common::PoolLease buffer(common::BufferPool::shared(),
                               history_.size() + raw.size());
   buffer->insert(buffer->end(), history_.begin(), history_.end());
   buffer->insert(buffer->end(), raw.begin(), raw.end());
@@ -39,7 +39,7 @@ common::Bytes StreamingLzCompressor::compress_block(common::ByteSpan raw) {
 
 common::Bytes StreamingLzDecompressor::decompress_block(
     common::ByteSpan comp, std::size_t raw_size) {
-  common::PooledBuffer buffer(common::BufferPool::shared(),
+  common::PoolLease buffer(common::BufferPool::shared(),
                               history_.size() + raw_size);
   buffer->resize(history_.size() + raw_size);
   std::copy(history_.begin(), history_.end(), buffer->begin());

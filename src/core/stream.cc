@@ -76,7 +76,7 @@ void CompressingWriter::emit_block() {
     return;
   }
   const auto& rung = registry_.level(static_cast<std::size_t>(level));
-  common::PooledBuffer frame(common::BufferPool::shared(),
+  common::PoolLease frame(common::BufferPool::shared(),
                              compress::kFrameHeaderSize + payload.size());
   compress::encode_block_into(*rung.codec, static_cast<std::uint8_t>(level),
                               payload, *frame);

@@ -222,9 +222,9 @@ void AsyncSender::pump() {
         if (cnt == kMaxIov) break;
         // sendmsg never writes through the iovec; the const_cast only
         // satisfies the kernel's writev-shaped struct.
-        iov[cnt].iov_base =
-            const_cast<std::uint8_t*>(seg.data.data()) + seg.off;
-        iov[cnt].iov_len = seg.data.size() - seg.off;
+        const common::ByteSpan pending = seg.pending();
+        iov[cnt].iov_base = const_cast<std::uint8_t*>(pending.data());
+        iov[cnt].iov_len = pending.size();
         ++cnt;
       }
       msghdr msg{};

@@ -46,6 +46,7 @@
 #include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/chaos.h"
+#include "common/lifetime_annotations.h"
 #include "common/sim_time.h"
 #include "compress/decode_pipeline.h"
 #include "compress/pipeline.h"
@@ -115,6 +116,13 @@ class AsyncSender {
   struct SendSeg {
     common::Bytes data;   // pooled
     std::size_t off = 0;  // bytes already written to the socket
+
+    /// Wire bytes not yet handed to the kernel — the iovec source. Borrows
+    /// the segment's pooled storage; dead once the segment is released
+    /// back to the pool after the final sendmsg covers it.
+    [[nodiscard]] common::ByteSpan pending() const STRATO_LIFETIME_BOUND {
+      return {data.data() + off, data.size() - off};
+    }
   };
 
   void on_event(std::uint32_t events);

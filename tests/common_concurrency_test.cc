@@ -199,7 +199,7 @@ TEST(BufferPool, ReuseAfterRelease) {
   // Release and re-acquire through the RAII lease as well.
   pool.release(std::move(b));
   {
-    PooledBuffer lease(pool, 4096);
+    PoolLease lease(pool, 4096);
     EXPECT_EQ(lease->data(), data);
   }
   EXPECT_EQ(pool.stats().free_buffers, 1u);  // lease returned it

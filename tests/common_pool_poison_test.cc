@@ -1,0 +1,153 @@
+// BufferPool poison-on-release debug mode: generation tags, quarantine
+// FIFO, the kPoisonByte stamp, and — under AddressSanitizer — the
+// use-after-poison abort that turns a stale pooled span into a crash
+// instead of a silently corrupt frame (DESIGN.md section 14).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/buffer_pool.h"
+
+// Mirror the detection in buffer_pool.cc: the poison stamp is readable
+// through a stale pointer only when ASan is not shadow-poisoning the
+// region; under ASan the same read must abort.
+#if defined(__SANITIZE_ADDRESS__)
+#define STRATO_POOL_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STRATO_POOL_TEST_ASAN 1
+#endif
+#endif
+
+namespace strato::common {
+namespace {
+
+TEST(BufferPoolPoison, GenerationTagBumpsEveryRelease) {
+  BufferPool pool(4);
+  pool.set_poison(true);
+  Bytes buf = pool.acquire(128);
+  buf.resize(64, 0x11);
+  const void* addr = buf.data();
+  EXPECT_EQ(pool.generation(addr), 0u);  // never released yet
+
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.generation(addr), 1u);
+
+  Bytes again = pool.acquire(128);
+  ASSERT_EQ(again.data(), addr);  // same pooled allocation, no realloc
+  EXPECT_EQ(pool.generation(addr), 1u);  // tag survives the re-acquire
+  pool.release(std::move(again));
+  EXPECT_EQ(pool.generation(addr), 2u);
+
+  EXPECT_EQ(pool.generation(&pool), 0u);  // unknown allocation
+}
+
+TEST(BufferPoolPoison, StatsCountPoisonTraffic) {
+  BufferPool pool(4);
+  pool.set_poison(true);
+  Bytes buf = pool.acquire(64);
+  buf.resize(32);
+  pool.release(std::move(buf));
+  Bytes again = pool.acquire(64);
+  pool.release(std::move(again));
+
+  const BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.poisons, 2u);
+  EXPECT_EQ(s.unpoisons, 1u);
+  EXPECT_EQ(s.generations, 2u);
+  EXPECT_EQ(s.quarantined, 0u);  // no quarantine configured
+}
+
+TEST(BufferPoolPoison, QuarantineDelaysReuse) {
+  BufferPool pool(4);
+  pool.set_poison(true);
+  pool.set_quarantine(1);
+
+  Bytes a = pool.acquire(64);
+  const void* addr_a = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().quarantined, 1u);
+
+  // The only pooled buffer is parked: this acquire must NOT alias it.
+  Bytes fresh = pool.acquire(64);
+  EXPECT_NE(fresh.data(), addr_a);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+
+  // A second release pushes the FIFO over depth; `a` re-enters the free
+  // list and the next acquire reuses it, oldest first.
+  pool.release(std::move(fresh));
+  EXPECT_EQ(pool.stats().quarantined, 1u);
+  Bytes reused = pool.acquire(64);
+  EXPECT_EQ(reused.data(), addr_a);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  pool.release(std::move(reused));
+}
+
+TEST(BufferPoolPoison, DisablingPoisonStopsTagging) {
+  BufferPool pool(4);
+  pool.set_poison(true);
+  EXPECT_TRUE(pool.poison_enabled());
+  pool.set_poison(false);
+  EXPECT_FALSE(pool.poison_enabled());
+
+  Bytes buf = pool.acquire(64);
+  buf.resize(32, 0x11);
+  const void* addr = buf.data();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.generation(addr), 0u);
+  EXPECT_EQ(pool.stats().poisons, 0u);
+
+  // Re-acquire must be readable and zero-sized regardless of mode.
+  Bytes again = pool.acquire(64);
+  EXPECT_EQ(again.size(), 0u);
+  pool.release(std::move(again));
+}
+
+#if !defined(STRATO_POOL_TEST_ASAN)
+TEST(BufferPoolPoison, ReleasedBytesAreStamped) {
+  BufferPool pool(4);
+  pool.set_poison(true);
+  // Park the released buffer in quarantine so the allocation stays alive
+  // (owned by the pool) while the stale pointer below inspects it.
+  pool.set_quarantine(4);
+
+  Bytes buf = pool.acquire(64);
+  buf.resize(48, 0x11);
+  const std::uint8_t* stale = buf.data();
+  pool.release(std::move(buf));
+
+  // Sanctioned stale read: this test IS the detector's detector. Without
+  // ASan the poison mode's whole contract is the visible stamp.
+  for (std::size_t i = 0; i < 48; ++i) {
+    ASSERT_EQ(stale[i], BufferPool::kPoisonByte) << "offset " << i;
+  }
+}
+#endif
+
+#if defined(STRATO_POOL_TEST_ASAN)
+// Under ASan the release() path shadow-poisons the whole region: any
+// dereference of a span that outlived its lease aborts with a
+// use-after-poison report. This is the runtime leg of the lifetime
+// discipline — the seeded use-after-release the lint rule flags
+// statically dies here dynamically.
+TEST(BufferPoolPoisonDeathTest, StaleSpanReadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        BufferPool pool(4);
+        pool.set_poison(true);
+        pool.set_quarantine(4);  // keep the allocation mapped, but poisoned
+        Bytes buf = pool.acquire(64);
+        buf.resize(48, 0x11);
+        const volatile std::uint8_t* stale = buf.data();
+        pool.release(std::move(buf));
+        (void)stale[0];  // use-after-release: must abort, not read 0xA5
+      },
+      "use-after-poison");
+}
+#endif
+
+}  // namespace
+}  // namespace strato::common

@@ -55,10 +55,10 @@ TEST(BufferPool, GrowsUndersizedBuffer) {
   EXPECT_EQ(big.size(), 0u);
 }
 
-TEST(BufferPool, PooledBufferLeaseReturnsOnScopeExit) {
+TEST(BufferPool, PoolLeaseReturnsOnScopeExit) {
   common::BufferPool pool(4);
   {
-    common::PooledBuffer lease(pool, 256);
+    common::PoolLease lease(pool, 256);
     lease->push_back(7);
     EXPECT_EQ((*lease)[0], 7);
   }

@@ -1,0 +1,71 @@
+// Fixture: the same escape patterns as bad_lifetime.cc, each carrying a
+// `// strato-lint: allow(lifetime)` annotation with a reason — the
+// selftest requires the linter to report nothing here. Fixtures are
+// linted, not compiled.
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct FakePipe {
+  unsigned char* recv_span(std::size_t n);
+  void commit(std::size_t n);
+};
+
+struct FakePool {
+  Bytes acquire(std::size_t n);
+  void release(Bytes b);
+};
+
+void consume(const unsigned char* p);
+void defer(std::function<void()> fn);
+
+class AllowedLifetime {
+ public:
+  void store_member(FakePipe& pipe) {
+    auto span = pipe.recv_span(64);
+    // Outstanding-count on the segment keeps the lease alive until the
+    // member is cleared; lease-backed by construction.
+    span_ = span;  // strato-lint: allow(lifetime)
+  }
+
+  void store_container(FakePipe& pipe) {
+    auto view = pipe.recv_span(16);
+    // Queue is drained before the next commit() can recycle the segment.
+    views_.push_back(view);  // strato-lint: allow(lifetime)
+  }
+
+  int use_after_commit(FakePipe& pipe) {
+    auto span = pipe.recv_span(32);
+    pipe.commit(32);
+    // The committed prefix is exactly the bytes read below; commit()
+    // never reseats the active segment in this fixture protocol.
+    return span[0];  // strato-lint: allow(lifetime)
+  }
+
+  int use_after_release(FakePool& pool, Bytes& buf) {
+    auto view = span_of(buf);
+    pool.release(std::move(buf));
+    // Pool is configured with an infinite quarantine in this harness, so
+    // the released bytes stay mapped for the duration of the read.
+    return view[0];  // strato-lint: allow(lifetime)
+  }
+
+  void capture_by_ref(FakePipe& pipe, std::function<void()>& out) {
+    auto span = pipe.recv_span(8);
+    // The callback runs synchronously before this frame returns.
+    out = [&span] { consume(span); };  // strato-lint: allow(lifetime)
+  }
+
+  void capture_default(FakePipe& pipe) {
+    auto span = pipe.recv_span(8);
+    // defer() in this fixture invokes the closure inline.
+    defer([&] { consume(span); });  // strato-lint: allow(lifetime)
+  }
+
+ private:
+  unsigned char* span_ = nullptr;
+  std::vector<unsigned char*> views_;
+};

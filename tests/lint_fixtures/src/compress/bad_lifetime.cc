@@ -1,0 +1,62 @@
+// Fixture: seeded `lifetime` violations — pooled spans escaping their
+// lease. The selftest expects exactly six findings here; the fully
+// annotated twin (allowed_lifetime.cc) must stay clean. Fixtures are
+// linted, not compiled.
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct FakePipe {
+  unsigned char* recv_span(std::size_t n);
+  void commit(std::size_t n);
+};
+
+struct FakePool {
+  Bytes acquire(std::size_t n);
+  void release(Bytes b);
+};
+
+void consume(const unsigned char* p);
+void defer(std::function<void()> fn);
+
+class BadLifetime {
+ public:
+  void store_member(FakePipe& pipe) {
+    auto span = pipe.recv_span(64);
+    span_ = span;  // seeded: member store of a pooled span
+  }
+
+  void store_container(FakePipe& pipe) {
+    auto view = pipe.recv_span(16);
+    views_.push_back(view);  // seeded: member container keeps the borrow
+  }
+
+  int use_after_commit(FakePipe& pipe) {
+    auto span = pipe.recv_span(32);
+    pipe.commit(32);
+    return span[0];  // seeded: the commit() invalidated the span
+  }
+
+  int use_after_release(FakePool& pool, Bytes& buf) {
+    auto view = span_of(buf);
+    pool.release(std::move(buf));
+    return view[0];  // seeded: the buffer went back to the pool
+  }
+
+  void capture_by_ref(FakePipe& pipe, std::function<void()>& out) {
+    auto span = pipe.recv_span(8);
+    out = [&span] { consume(span); };  // seeded: deferred by-ref capture
+  }
+
+  void capture_default(FakePipe& pipe) {
+    auto span = pipe.recv_span(8);
+    defer([&] { consume(span); });  // seeded: default & capture of a span
+  }
+
+ private:
+  unsigned char* span_ = nullptr;
+  std::vector<unsigned char*> views_;
+};
