@@ -1,20 +1,32 @@
-// Fleet-scale acceptance bench: ~100k multi-tenant adaptive-compression
-// flows over a rack -> spine -> WAN fabric, single-threaded, deterministic
-// per seed. Emits one JSON object on stdout and mirrors it to the file
-// named by argv[1] (the committed BENCH_fleet.json trajectory — see
+// Fleet-scale acceptance bench: ~1M multi-tenant adaptive-compression
+// flows over a rack -> spine -> WAN fabric, deterministic per seed.
+// Emits one JSON object on stdout and mirrors it to the file named by
+// argv[1] (the committed BENCH_fleet.json trajectory — see
 // scripts/check_bench.sh).
+//
+// Env knobs (all digest-relevant knobs change `flows_total`, so a
+// mismatched comparison is loud, not silent):
+//   * STRATO_FLEET_FLOWS: total transfer-flow target. Unset = 1,000,000.
+//     The special value 100000 selects the legacy pre-incremental-
+//     allocator configuration verbatim (digest 90d1a3b0a8e978bf) — the
+//     compat anchor proving the rewrite left the simulation bit-exact.
+//     Any other value scales the 1M shape (flow_limit = N/4 per tenant).
+//   * STRATO_FLEET_DRAIN_WORKERS: drain worker threads (default 1).
+//     Any value reproduces the same digest; see FleetConfig.
 //
 // Acceptance targets:
 //   * the run completes within kWallBudgetS (60 s) of wall clock on one
-//     core — the structs-of-arrays FlowTable + batched epochs exist to
-//     make this cheap;
+//     core — incremental max-min allocation, cached epoch kernels and
+//     the fused serial drain exist to make this cheap;
 //   * `metrics_digest` (FNV-1a over the full FleetMetrics JSON) and the
 //     per-tenant flow counts are deterministic and must reproduce
 //     exactly between runs; `wall_s` / `kflows_per_s` carry the usual
-//     tolerance band, gated on hardware_concurrency.
+//     tolerance band plus an upward floor (BENCH_MIN_GAIN), gated on
+//     hardware_concurrency.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -47,16 +59,17 @@ std::uint64_t fnv1a(const std::string& s) {
 }
 
 TenantSpec transfer_tenant(const char* name, double weight,
-                           TenantPolicy policy,
-                           std::array<double, 3> mix) {
+                           TenantPolicy policy, std::array<double, 3> mix,
+                           double arrival_per_s, std::uint64_t flow_limit,
+                           int max_in_flight) {
   TenantSpec t;
   t.name = name;
   t.weight = weight;
   t.share = ShareMode::kPerTenant;
   t.policy = policy;
-  t.arrival_per_s = 41.0;       // ~24.5k flows across the 600 s horizon
-  t.flow_limit = 24'500;
-  t.max_in_flight = 1500;       // admission cap bounds the active set
+  t.arrival_per_s = arrival_per_s;
+  t.flow_limit = flow_limit;
+  t.max_in_flight = max_in_flight;
   t.mean_flow_bytes = 16ull << 20;
   t.min_flow_bytes = 1ull << 20;
   t.class_mix = mix;
@@ -64,22 +77,27 @@ TenantSpec transfer_tenant(const char* name, double weight,
   return t;
 }
 
-FleetConfig fleet_100k() {
+/// The pre-incremental-allocator bench configuration, kept verbatim: the
+/// run's digest (90d1a3b0a8e978bf for seed 424242) was produced by the
+/// full-rebuild engine before this optimization existed, so reproducing
+/// it here proves end-to-end bit-exactness of the incremental path.
+FleetConfig fleet_compat_100k() {
   FleetConfig cfg;
   cfg.topology = Topology::rack_spine_wan(Topology::FleetShape{});
   cfg.seed = 424242;
   cfg.horizon = SimTime::seconds(600);
   cfg.expected_flows = 100'000;
 
-  // Four production tenant classes (2 adaptive, 2 pinned) + background.
-  cfg.tenants.push_back(transfer_tenant(
-      "analytics", 2.0, TenantPolicy::dynamic(), {1.0, 0.0, 0.0}));
-  cfg.tenants.push_back(transfer_tenant(
-      "web-logs", 1.0, TenantPolicy::dynamic(), {0.2, 0.6, 0.2}));
-  cfg.tenants.push_back(transfer_tenant(
-      "backup", 1.0, TenantPolicy::fixed(1), {0.5, 0.5, 0.0}));
-  cfg.tenants.push_back(transfer_tenant(
-      "media", 1.0, TenantPolicy::fixed(0), {0.0, 0.0, 1.0}));
+  cfg.tenants.push_back(transfer_tenant("analytics", 2.0,
+                                        TenantPolicy::dynamic(),
+                                        {1.0, 0.0, 0.0}, 41.0, 24'500, 1500));
+  cfg.tenants.push_back(transfer_tenant("web-logs", 1.0,
+                                        TenantPolicy::dynamic(),
+                                        {0.2, 0.6, 0.2}, 41.0, 24'500, 1500));
+  cfg.tenants.push_back(transfer_tenant("backup", 1.0, TenantPolicy::fixed(1),
+                                        {0.5, 0.5, 0.0}, 41.0, 24'500, 1500));
+  cfg.tenants.push_back(transfer_tenant("media", 1.0, TenantPolicy::fixed(0),
+                                        {0.0, 0.0, 1.0}, 41.0, 24'500, 1500));
 
   BgTrafficConfig bg;
   bg.arrival_per_s = 4.0;
@@ -92,10 +110,67 @@ FleetConfig fleet_100k() {
   return cfg;
 }
 
+/// Million-flow shape. The fleet is deliberately overloaded (arrivals
+/// outpace the spine), so each tenant's in-flight count pins at
+/// max_in_flight and completion is capacity-bound: lowering the
+/// admission cap shrinks the per-epoch active set — and with it epoch
+/// cost — without reducing completion throughput. The steady pinned
+/// counts are also what lets the engine skip the kPerTenant reweight
+/// (and the allocator the refold) on most epochs.
+FleetConfig fleet_large(std::uint64_t transfer_flows) {
+  FleetConfig cfg;
+  cfg.topology = Topology::rack_spine_wan(Topology::FleetShape{});
+  cfg.seed = 424242;
+  cfg.horizon = SimTime::seconds(600);
+  cfg.drain_factor = 20.0;  // capacity-bound drain runs long past arrivals
+  cfg.expected_flows = transfer_flows + transfer_flows / 16 + 1024;
+
+  const std::uint64_t per_tenant = transfer_flows / 4;
+  // Arrivals complete within the horizon (~566 s at the 1M default);
+  // everything beyond the in-flight cap queues unbounded.
+  const double arrival =
+      static_cast<double>(per_tenant) / (cfg.horizon.to_seconds() * 0.94);
+  cfg.tenants.push_back(transfer_tenant("analytics", 2.0,
+                                        TenantPolicy::dynamic(),
+                                        {1.0, 0.0, 0.0}, arrival, per_tenant,
+                                        500));
+  cfg.tenants.push_back(transfer_tenant("web-logs", 1.0,
+                                        TenantPolicy::dynamic(),
+                                        {0.2, 0.6, 0.2}, arrival, per_tenant,
+                                        500));
+  cfg.tenants.push_back(transfer_tenant("backup", 1.0, TenantPolicy::fixed(1),
+                                        {0.5, 0.5, 0.0}, arrival, per_tenant,
+                                        500));
+  cfg.tenants.push_back(transfer_tenant("media", 1.0, TenantPolicy::fixed(0),
+                                        {0.0, 0.0, 1.0}, arrival, per_tenant,
+                                        500));
+
+  BgTrafficConfig bg;
+  bg.arrival_per_s = 4.0;
+  bg.mean_holding_s = 30.0;
+  bg.initial_flows = 64;
+  bg.max_flows = 512;
+  TenantSpec bgt = strato::vsim::background_tenant(bg);
+  bgt.flow_limit = transfer_flows / 50;
+  cfg.tenants.push_back(bgt);
+  return cfg;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const FleetConfig cfg = fleet_100k();
+  const std::uint64_t flows_target =
+      env_u64("STRATO_FLEET_FLOWS", 1'000'000);
+  FleetConfig cfg = flows_target == 100'000 ? fleet_compat_100k()
+                                            : fleet_large(flows_target);
+  cfg.drain_workers = static_cast<int>(
+      env_u64("STRATO_FLEET_DRAIN_WORKERS", 1));
   FleetEngine engine(cfg);
 
   const auto start = std::chrono::steady_clock::now();
@@ -109,6 +184,9 @@ int main(int argc, char** argv) {
   appendf(json, "  \"seed\": %llu,\n",
           static_cast<unsigned long long>(cfg.seed));
   appendf(json, "  \"epoch_ms\": %.0f,\n", cfg.epoch.to_seconds() * 1e3);
+  appendf(json, "  \"flows_target\": %llu,\n",
+          static_cast<unsigned long long>(flows_target));
+  appendf(json, "  \"drain_workers\": %d,\n", cfg.drain_workers);
   appendf(json, "  \"hardware_concurrency\": %u,\n",
           std::thread::hardware_concurrency());
   appendf(json, "  \"flows_total\": %llu,\n",

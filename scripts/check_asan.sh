@@ -38,6 +38,7 @@ TESTS=(
   # ctest -L fleet slice: SoA column indexing under ASan guards against
   # any phase/id bookkeeping bug turning into out-of-bounds column reads.
   vsim_event_queue_test
+  vsim_alloc_test
   vsim_fleet_test
 )
 

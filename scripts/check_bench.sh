@@ -113,13 +113,17 @@ SCHEMAS = {
         "speedup_floor": False,
     },
     "fleet_scale": {
-        "top": ["bench", "seed", "epoch_ms", "flows_total",
-                "flows_completed", "epochs", "sim_completed_s", "p50_s",
-                "p99_s", "p999_s", "metrics_digest"],
+        "top": ["bench", "seed", "epoch_ms", "flows_target", "drain_workers",
+                "flows_total", "flows_completed", "epochs",
+                "sim_completed_s", "p50_s", "p99_s", "p999_s",
+                "metrics_digest"],
         "key": ["name"],
         "det": ["spawned", "admitted", "rejected", "completed", "p99_s"],
         "timing": "kflows_per_s",
         "speedup_floor": False,
+        # BENCH_MIN_GAIN applies to the top-level kflows_per_s figure —
+        # the fleet has no per-row timing column.
+        "min_gain": True,
     },
 }
 DEFAULT_SCHEMA = {
@@ -179,13 +183,20 @@ for k in sorted(set(base_rows) & set(cur_rows)):
                 f"(committed {b[TIMING_COL]:.1f} x {1.0 + min_gain:.2f})")
 
 # Fleet rows carry no per-row timing column; band the top-level
-# throughput figure instead.
+# throughput figure instead, and hold it to the BENCH_MIN_GAIN upward
+# floor when landing a perf PR against the pre-PR baseline.
 if same_hw and TIMING_COL in base and TIMING_COL in cur \
         and base[TIMING_COL] > 0:
     rel = cur[TIMING_COL] / base[TIMING_COL] - 1.0
     if rel < -tol:
         regressions.append(f"top-level {TIMING_COL} {base[TIMING_COL]:.1f} "
                            f"-> {cur[TIMING_COL]:.1f} ({rel:+.0%})")
+    if schema.get("min_gain") and min_gain > 0 \
+            and cur[TIMING_COL] < base[TIMING_COL] * (1.0 + min_gain):
+        regressions.append(
+            f"top-level {TIMING_COL} {cur[TIMING_COL]:.1f} below min_gain "
+            f"floor {base[TIMING_COL] * (1.0 + min_gain):.1f} "
+            f"(committed {base[TIMING_COL]:.1f} x {1.0 + min_gain:.2f})")
 
 # Acceptance floor: only assertable with real parallel hardware, and on
 # the bench's best 4-worker configuration — the codec-bound rung; the

@@ -27,6 +27,7 @@ TESTS=(
   # ctest -L fleet slice: single-threaded by design, but the fleet engine
   # shares codecs/stats with concurrent layers — keep it sanitizer-clean.
   vsim_event_queue_test
+  vsim_alloc_test
   vsim_fleet_test
 )
 

@@ -109,7 +109,8 @@ WALLCLOCK_DIRS = ("vsim/", "verify/")
 COPY_BANNED_PREFIX = "compress/framing."
 
 # The fleet hot loop: per-flow heap allocation is banned (SoA columns only).
-FLEET_ALLOC_PREFIXES = ("vsim/flow_table.", "vsim/fleet.", "vsim/topology.")
+FLEET_ALLOC_PREFIXES = ("vsim/flow_table.", "vsim/fleet.", "vsim/topology.",
+                        "vsim/event_queue.")
 
 # The one sanctioned home of intrinsics and bit-scan builtins.
 SIMD_ALLOWED = {"common/simd.h"}

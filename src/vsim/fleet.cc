@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "compress/framing.h"
 #include "vsim/profile.h"
@@ -59,12 +60,22 @@ FleetEngine::FleetEngine(FleetConfig config)
       hard_stop_(SimTime::seconds(cfg_.horizon.to_seconds() *
                                   std::max(1.0, cfg_.drain_factor))) {
   if (cfg_.expected_flows > 0) flows_.reserve(cfg_.expected_flows);
+  if (const char* env = std::getenv("STRATO_FLEET_FULL_ALLOC");
+      env != nullptr && *env != '\0' && *env != '0') {
+    cfg_.full_alloc = true;
+  }
+  full_alloc_ = cfg_.full_alloc;
   runs_.resize(cfg_.tenants.size());
   metrics_.tenants.resize(cfg_.tenants.size());
   metrics_.goodput_all_mbit_s = common::Histogram(
       0.0, cfg_.goodput_hist_max_mbit_s, cfg_.goodput_hist_buckets);
+  tenant_active_.assign(cfg_.tenants.size(), 0);
+  tenant_last_count_.assign(cfg_.tenants.size(), -1);
+  tenant_flow_w_.assign(cfg_.tenants.size(), 0.0);
+  tenant_per_tenant_.assign(cfg_.tenants.size(), 0);
   for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
     const TenantSpec& spec = cfg_.tenants[t];
+    tenant_per_tenant_[t] = spec.share == ShareMode::kPerTenant ? 1 : 0;
     TenantRun& run = runs_[t];
     run.rng = common::Xoshiro256(cfg_.seed ^
                                  (0xC2B2AE3D27D4EB4FULL * (t + 1)));
@@ -79,6 +90,36 @@ FleetEngine::FleetEngine(FleetConfig config)
     tm.goodput_mbit_s = common::Histogram(
         0.0, cfg_.goodput_hist_max_mbit_s, cfg_.goodput_hist_buckets);
   }
+  // Flatten the (level, class) behaviour table once; refresh_flow_kernel
+  // reads plain array slots instead of CodecModel's bounds-checked walk.
+  behaviour_.resize(static_cast<std::size_t>(CodecModel::kNumLevels) *
+                    CodecModel::kNumClasses);
+  const corpus::Compressibility classes[] = {corpus::Compressibility::kHigh,
+                                             corpus::Compressibility::kModerate,
+                                             corpus::Compressibility::kLow};
+  for (int l = 0; l < CodecModel::kNumLevels; ++l) {
+    for (int c = 0; c < CodecModel::kNumClasses; ++c) {
+      behaviour_[static_cast<std::size_t>(l) * CodecModel::kNumClasses +
+                 c] = cfg_.model.get(l, classes[c]);
+    }
+  }
+  epoch_ev_ = queue_.add_recurring([this] { epoch_tick(); });
+  if (cfg_.drain_workers > 1) {
+    pool_.emplace(static_cast<std::size_t>(cfg_.drain_workers));
+  }
+}
+
+void FleetEngine::refresh_flow_kernel(FlowTable::Id f) {
+  const LevelBehaviour& beh =
+      behaviour_[static_cast<std::size_t>(flows_.level[f]) *
+                     CodecModel::kNumClasses +
+                 static_cast<std::size_t>(flows_.cls[f])];
+  const double wf = wire_factor(beh, flows_.ratio_jitter[f], cfg_.block_size);
+  const double comp_speed = beh.compress_bytes_s * cfg_.codec_speed_factor *
+                            flows_.speed_jitter[f];
+  flows_.wf[f] = wf;
+  flows_.comp_speed[f] = comp_speed;
+  flows_.cpu_bound[f] = comp_speed * wf;
 }
 
 void FleetEngine::spawn_flow(std::uint16_t t, SimTime at) {
@@ -139,6 +180,7 @@ void FleetEngine::spawn_flow(std::uint16_t t, SimTime at) {
       flows_.level[id] = static_cast<std::int8_t>(std::clamp(
           spec.policy.static_level, 0, CodecModel::kNumLevels - 1));
     }
+    refresh_flow_kernel(id);
   }
   run.pending.push_back(id);
 }
@@ -178,77 +220,157 @@ void FleetEngine::admit(SimTime now) {
       tm.queue_wait_s_total += (now - flows_.arrival[id]).to_seconds();
       ++tm.admitted;
       ++run.in_flight;
-      active_.push_back(id);
+      ++tenant_active_[t];
+      // Per-tenant flows carry weight / active-count; assign the cached
+      // value now so a count-stable epoch can skip the rewrite pass (the
+      // pass overwrites this when the count did change).
+      if (tenant_per_tenant_[t]) flows_.weight[id] = tenant_flow_w_[t];
+      if (full_alloc_) {
+        // The combined interleaved list: the full allocator's weight-sum
+        // fold order follows it, so it must match pre-partition layout.
+        active_.push_back(id);
+      } else {
+        alloc_.add_flow(id, flows_.path[id]);
+      }
+      if (flows_.kind[id] == FlowKind::kTransfer) {
+        active_transfer_.push_back(id);
+      } else {
+        active_dwell_.push_back(id);
+      }
     }
   }
 }
 
 void FleetEngine::recompute_rates(SimTime now) {
   bank_.capacities(now, link_cap_);
+  const bool caps_changed = link_cap_ != link_cap_prev_;
+  if (caps_changed) link_cap_prev_ = link_cap_;
 
   // kPerTenant tenants split their weight over their active flows, so a
-  // tenant's aggregate share is independent of its flow count.
-  tenant_active_.assign(cfg_.tenants.size(), 0);
-  for (const FlowTable::Id id : active_) ++tenant_active_[flows_.tenant[id]];
-  for (const FlowTable::Id id : active_) {
-    const TenantSpec& spec = cfg_.tenants[flows_.tenant[id]];
-    if (spec.share == ShareMode::kPerTenant) {
-      flows_.weight[id] =
-          spec.weight /
-          static_cast<double>(tenant_active_[flows_.tenant[id]]);
+  // tenant's aggregate share is independent of its flow count. The
+  // per-tenant active counts are maintained incrementally (admit/finish)
+  // and in steady state sit pinned at max_in_flight: a finish freed a
+  // slot the same epoch's admit refilled. The division and per-flow
+  // weight writes therefore run only when some count differs from the
+  // one the weights were last written for — the value written is the
+  // same expression the per-epoch rebuild computed, so skipping is
+  // bit-exact.
+  bool weights_changed = false;
+  for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+    if (tenant_per_tenant_[t] && tenant_active_[t] != tenant_last_count_[t]) {
+      weights_changed = true;
+      break;
     }
   }
+  if (weights_changed) {
+    for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+      if (tenant_per_tenant_[t]) {
+        if (tenant_active_[t] > 0) {
+          tenant_flow_w_[t] = cfg_.tenants[t].weight /
+                              static_cast<double>(tenant_active_[t]);
+        }
+        tenant_last_count_[t] = tenant_active_[t];
+      }
+    }
+    for (const FlowTable::Id id : active_transfer_) {
+      if (tenant_per_tenant_[flows_.tenant[id]]) {
+        flows_.weight[id] = tenant_flow_w_[flows_.tenant[id]];
+      }
+    }
+    for (const FlowTable::Id id : active_dwell_) {
+      if (tenant_per_tenant_[flows_.tenant[id]]) {
+        flows_.weight[id] = tenant_flow_w_[flows_.tenant[id]];
+      }
+    }
+    alloc_.invalidate_weights();
+  }
 
-  alloc_.allocate(link_cap_, flows_.path, flows_.weight, active_,
-                  flows_.rate);
+  if (full_alloc_) {
+    alloc_.allocate(link_cap_, flows_.path, flows_.weight, active_,
+                    flows_.alloc_rate);
+  } else {
+    alloc_.allocate_incremental(link_cap_, caps_changed, flows_.path,
+                                flows_.weight, flows_.alloc_rate);
+  }
 
   // Sender-CPU bound: a flow cannot push wire bytes faster than its one
   // vCPU can compress them — wire rate <= comp_speed * wire_factor (the
-  // fluid form of run_transfer_blocks' sender stage).
-  for (const FlowTable::Id id : active_) {
-    if (flows_.kind[id] != FlowKind::kTransfer) continue;
-    const LevelBehaviour& beh =
-        cfg_.model.get(flows_.level[id], flows_.cls[id]);
-    const double wf =
-        wire_factor(beh, flows_.ratio_jitter[id], cfg_.block_size);
-    const double comp_speed = beh.compress_bytes_s *
-                              cfg_.codec_speed_factor *
-                              flows_.speed_jitter[id];
-    flows_.rate[id] = std::min(flows_.rate[id], comp_speed * wf);
+  // fluid form of run_transfer_blocks' sender stage). The bound is the
+  // cached cpu_bound column; recomputing the clamp every epoch keeps a
+  // skipped allocation correct when a level switch moves the bound.
+  for (const FlowTable::Id id : active_transfer_) {
+    flows_.rate[id] = std::min(flows_.alloc_rate[id], flows_.cpu_bound[id]);
+  }
+  for (const FlowTable::Id id : active_dwell_) {
+    flows_.rate[id] = flows_.alloc_rate[id];
   }
 }
 
-void FleetEngine::drain(SimTime from, SimTime dt) {
-  const SimTime epoch_end = from + dt;
-  const double dt_s = dt.to_seconds();
-  for (const FlowTable::Id id : active_) {
-    if (flows_.kind[id] == FlowKind::kDwell) {
-      if (flows_.dwell_remaining[id] <= dt) {
-        finish_flow(id, from + flows_.dwell_remaining[id]);
-      } else {
-        flows_.dwell_remaining[id] -= dt;
-      }
-      continue;
-    }
-
-    const std::uint16_t t = flows_.tenant[id];
-    const TenantSpec& spec = cfg_.tenants[t];
-    TenantMetrics& tm = metrics_.tenants[t];
-    const LevelBehaviour& beh =
-        cfg_.model.get(flows_.level[id], flows_.cls[id]);
-    const double wf =
-        wire_factor(beh, flows_.ratio_jitter[id], cfg_.block_size);
+void FleetEngine::drain_shard(std::size_t lo, std::size_t hi, SimTime from,
+                              SimTime epoch_end, double dt_s) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const FlowTable::Id id = active_transfer_[i];
+    const TenantSpec& spec = cfg_.tenants[flows_.tenant[id]];
+    const double wf = flows_.wf[id];
     const double raw_rate = std::max(1e-9, flows_.rate[id] / wf);
     const double need_s = flows_.raw_remaining[id] / raw_rate;
     const double adv_s = std::min(need_s, dt_s);
     const double raw_moved =
         std::min(flows_.raw_remaining[id], raw_rate * adv_s);
     const double wire_moved = raw_moved * wf;
-    const double comp_speed = beh.compress_bytes_s *
-                              cfg_.codec_speed_factor *
-                              flows_.speed_jitter[id];
-    const double cpu =
-        raw_moved / comp_speed + wire_moved * io_cpu_s_per_byte_;
+    const double cpu = raw_moved / flows_.comp_speed[id] +
+                       wire_moved * io_cpu_s_per_byte_;
+
+    flows_.raw_remaining[id] -= raw_moved;
+    flows_.wire_bytes[id] += wire_moved;
+    flows_.cpu_s[id] += cpu;
+    flows_.meter[id].bytes += raw_moved;
+    d_raw_[i] = raw_moved;
+    d_wire_[i] = wire_moved;
+    d_cpu_[i] = cpu;
+    d_level_[i] = flows_.level[id];
+
+    if (flows_.raw_remaining[id] <= 1e-6) {
+      d_fin_[i] = from + SimTime::seconds(adv_s);
+      continue;
+    }
+    d_fin_[i] = SimTime::max();
+
+    // Close the decision window at epoch boundaries once >= t has
+    // elapsed — the paper's application-data-rate signal, per flow.
+    if (spec.policy.kind == TenantPolicy::Kind::kAdaptive) {
+      FlowMeter& m = flows_.meter[id];
+      if (epoch_end - m.window_start >= spec.policy.window) {
+        const double win_s =
+            std::max(1e-9, (epoch_end - m.window_start).to_seconds());
+        const core::Decision d = core::controller_step(
+            spec.policy.adaptive, flows_.ctrl[id], m.bytes / win_s);
+        if (static_cast<std::int8_t>(d.level) != flows_.level[id]) {
+          flows_.level[id] = static_cast<std::int8_t>(d.level);
+          refresh_flow_kernel(id);
+        }
+        m = FlowMeter{epoch_end, 0.0, true};
+      }
+    }
+  }
+}
+
+void FleetEngine::drain_serial(std::size_t lo, std::size_t hi, SimTime from,
+                               SimTime epoch_end, double dt_s) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const FlowTable::Id id = active_transfer_[i];
+    const std::uint16_t t = flows_.tenant[id];
+    const TenantSpec& spec = cfg_.tenants[t];
+    TenantMetrics& tm = metrics_.tenants[t];
+    const double wf = flows_.wf[id];
+    const double raw_rate = std::max(1e-9, flows_.rate[id] / wf);
+    const double need_s = flows_.raw_remaining[id] / raw_rate;
+    const double adv_s = std::min(need_s, dt_s);
+    const double raw_moved =
+        std::min(flows_.raw_remaining[id], raw_rate * adv_s);
+    const double wire_moved = raw_moved * wf;
+    const double cpu = raw_moved / flows_.comp_speed[id] +
+                       wire_moved * io_cpu_s_per_byte_;
 
     flows_.raw_remaining[id] -= raw_moved;
     flows_.wire_bytes[id] += wire_moved;
@@ -265,8 +387,6 @@ void FleetEngine::drain(SimTime from, SimTime dt) {
       continue;
     }
 
-    // Close the decision window at epoch boundaries once >= t has
-    // elapsed — the paper's application-data-rate signal, per flow.
     if (spec.policy.kind == TenantPolicy::Kind::kAdaptive) {
       FlowMeter& m = flows_.meter[id];
       if (epoch_end - m.window_start >= spec.policy.window) {
@@ -274,9 +394,75 @@ void FleetEngine::drain(SimTime from, SimTime dt) {
             std::max(1e-9, (epoch_end - m.window_start).to_seconds());
         const core::Decision d = core::controller_step(
             spec.policy.adaptive, flows_.ctrl[id], m.bytes / win_s);
-        flows_.level[id] = static_cast<std::int8_t>(d.level);
+        if (static_cast<std::int8_t>(d.level) != flows_.level[id]) {
+          flows_.level[id] = static_cast<std::int8_t>(d.level);
+          refresh_flow_kernel(id);
+        }
         m = FlowMeter{epoch_end, 0.0, true};
       }
+    }
+  }
+}
+
+void FleetEngine::drain(SimTime from, SimTime dt) {
+  const SimTime epoch_end = from + dt;
+  const double dt_s = dt.to_seconds();
+
+  // Phase A — per-flow transfer math. Each iteration touches only its
+  // own flow's columns plus the index-parallel d_* scratch, so shards
+  // over contiguous index ranges are data-race free and the result is
+  // independent of the shard layout by construction.
+  const std::size_t n = active_transfer_.size();
+  constexpr std::size_t kMinShard = 64;  // below this, threads cost more
+  const std::size_t workers = pool_ ? pool_->size() : 1;
+  if (workers > 1 && n >= 2 * kMinShard) {
+    d_raw_.resize(n);
+    d_wire_.resize(n);
+    d_cpu_.resize(n);
+    d_level_.resize(n);
+    d_fin_.resize(n);
+    const std::size_t shards = std::min(workers, n / kMinShard);
+    shard_futs_.clear();
+    const std::size_t chunk = (n + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t lo = s * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      shard_futs_.push_back(pool_->submit(
+          [this, lo, hi, from, epoch_end, dt_s] {
+            drain_shard(lo, hi, from, epoch_end, dt_s);
+          }));
+    }
+    for (auto& f : shard_futs_) f.get();
+
+    // Phase B — serial accumulation in admission order: tenant byte/CPU
+    // sums are left folds over the same sequence the serial engine used,
+    // so the metrics digest is byte-identical for any worker count.
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowTable::Id id = active_transfer_[i];
+      TenantMetrics& tm = metrics_.tenants[flows_.tenant[id]];
+      tm.raw_bytes += d_raw_[i];
+      tm.wire_bytes += d_wire_[i];
+      tm.cpu_s += d_cpu_[i];
+      tm.raw_bytes_per_level[static_cast<std::size_t>(d_level_[i])] +=
+          d_raw_[i];
+      if (d_fin_[i] != SimTime::max()) finish_flow(id, d_fin_[i]);
+    }
+  } else {
+    // Serial: fuse both phases in one pass over the flows. Per-flow math
+    // is independent and finish_flow touches nothing a later flow's
+    // phase-A computation reads, so fusing is bitwise-equivalent to the
+    // sharded two-phase form — same addends folded in the same order.
+    drain_serial(0, n, from, epoch_end, dt_s);
+  }
+
+  // Dwell flows last: they contribute only integer counters and a max()
+  // to the metrics, so ordering them after the transfers cannot change
+  // any accumulated value.
+  for (const FlowTable::Id id : active_dwell_) {
+    if (flows_.dwell_remaining[id] <= dt) {
+      finish_flow(id, from + flows_.dwell_remaining[id]);
+    } else {
+      flows_.dwell_remaining[id] -= dt;
     }
   }
 }
@@ -285,7 +471,10 @@ void FleetEngine::finish_flow(FlowTable::Id f, SimTime at) {
   flows_.phase[f] = FlowPhase::kDone;
   flows_.finished[f] = at;
   flows_.rate[f] = 0.0;
+  flows_.alloc_rate[f] = 0.0;
   const std::uint16_t t = flows_.tenant[f];
+  --tenant_active_[t];
+  if (!full_alloc_) alloc_.remove_flow(f, flows_.path[f]);
   TenantMetrics& tm = metrics_.tenants[t];
   ++tm.completed;
   --runs_[t].in_flight;
@@ -316,16 +505,26 @@ void FleetEngine::epoch_tick() {
   recompute_rates(now);
   drain(now, cfg_.epoch);
 
-  // Compact: drop finished flows from the active set (swap-free erase,
+  // Compact: drop finished flows from the active sets (swap-free erase,
   // preserves index order for determinism).
-  active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [&](FlowTable::Id id) {
-                                 return flows_.phase[id] == FlowPhase::kDone;
-                               }),
-                active_.end());
+  const auto done = [&](FlowTable::Id id) {
+    return flows_.phase[id] == FlowPhase::kDone;
+  };
+  active_transfer_.erase(
+      std::remove_if(active_transfer_.begin(), active_transfer_.end(), done),
+      active_transfer_.end());
+  active_dwell_.erase(
+      std::remove_if(active_dwell_.begin(), active_dwell_.end(), done),
+      active_dwell_.end());
+  if (full_alloc_) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(), done),
+                  active_.end());
+  }
 
   if (work_remains() && now + cfg_.epoch <= hard_stop_) {
-    queue_.schedule_in(cfg_.epoch, [this] { epoch_tick(); });
+    // Pre-bound recurring event: re-arming pushes a POD entry, no
+    // per-epoch std::function allocation.
+    queue_.schedule_recurring_in(epoch_ev_, cfg_.epoch);
   }
 }
 
@@ -335,7 +534,7 @@ FleetMetrics FleetEngine::run() {
       spawn_flow(static_cast<std::uint16_t>(t), SimTime());
     }
   }
-  queue_.schedule(SimTime(), [this] { epoch_tick(); });
+  queue_.schedule_recurring(epoch_ev_, SimTime());
   queue_.run();
 
   for (const TenantMetrics& tm : metrics_.tenants) {

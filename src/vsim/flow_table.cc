@@ -17,12 +17,16 @@ void FlowTable::reserve(std::size_t n) {
   admitted.reserve(n);
   finished.reserve(n);
   rate.reserve(n);
+  alloc_rate.reserve(n);
   wire_bytes.reserve(n);
   cpu_s.reserve(n);
   ratio_jitter.reserve(n);
   speed_jitter.reserve(n);
   ctrl.reserve(n);
   meter.reserve(n);
+  wf.reserve(n);
+  comp_speed.reserve(n);
+  cpu_bound.reserve(n);
 }
 
 FlowTable::Id FlowTable::add_transfer(std::uint16_t tenant_id,
@@ -46,12 +50,16 @@ FlowTable::Id FlowTable::add_transfer(std::uint16_t tenant_id,
   admitted.push_back(common::SimTime());
   finished.push_back(common::SimTime());
   rate.push_back(0.0);
+  alloc_rate.push_back(0.0);
   wire_bytes.push_back(0.0);
   cpu_s.push_back(0.0);
   ratio_jitter.push_back(ratio_jit);
   speed_jitter.push_back(speed_jit);
   ctrl.push_back(core::ControllerState{});
   meter.push_back(FlowMeter{});
+  wf.push_back(1.0);
+  comp_speed.push_back(0.0);
+  cpu_bound.push_back(0.0);
   return id;
 }
 

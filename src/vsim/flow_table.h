@@ -82,12 +82,20 @@ class FlowTable {
   std::vector<common::SimTime> admitted;
   std::vector<common::SimTime> finished;
   std::vector<double> rate;               ///< allocated wire bytes/s
+  std::vector<double> alloc_rate;         ///< max-min share before CPU clamp
   std::vector<double> wire_bytes;         ///< framed bytes moved so far
   std::vector<double> cpu_s;              ///< compress + I/O CPU charged
   std::vector<double> ratio_jitter;       ///< per-flow multiplicative jitter
   std::vector<double> speed_jitter;
   std::vector<core::ControllerState> ctrl;  ///< Algorithm 1 state (POD)
   std::vector<FlowMeter> meter;             ///< decision-window meter
+
+  // Cached epoch kernel (transfers): derived from (level, cls) + jitters,
+  // refreshed only at spawn and on a controller level switch so the hot
+  // epoch loop reads three doubles instead of re-deriving the model.
+  std::vector<double> wf;          ///< wire factor incl. frame overhead
+  std::vector<double> comp_speed;  ///< effective compress bytes/s
+  std::vector<double> cpu_bound;   ///< comp_speed * wf (wire-rate ceiling)
 };
 
 }  // namespace strato::vsim

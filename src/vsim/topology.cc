@@ -96,6 +96,20 @@ MaxMinAllocator::MaxMinAllocator(const Topology& topo) : topo_(&topo) {
   cap_rem_.resize(topo.link_count());
   wsum_.resize(topo.link_count());
   link_flows_.resize(topo.link_count());
+  member_.resize(topo.link_count());
+  wsum_base_.assign(topo.link_count(), 0.0);
+  dirty_.assign(topo.link_count(), 0);
+  dead_.assign(topo.link_count(), 0);
+  touched_stamp_.assign(topo.link_count(), 0);
+  // Flatten the path table: one offset-indexed array instead of a heap
+  // vector per path, so the per-flow inner loops walk contiguous memory.
+  path_off_.reserve(topo.path_count() + 1);
+  path_off_.push_back(0);
+  for (std::size_t p = 0; p < topo.path_count(); ++p) {
+    const auto& links = topo.path(static_cast<Topology::PathId>(p));
+    path_flat_.insert(path_flat_.end(), links.begin(), links.end());
+    path_off_.push_back(static_cast<std::uint32_t>(path_flat_.size()));
+  }
 }
 
 void MaxMinAllocator::allocate(const std::vector<double>& link_capacity,
@@ -112,7 +126,9 @@ void MaxMinAllocator::allocate(const std::vector<double>& link_capacity,
   for (const std::uint32_t f : active) {
     frozen_[f] = 0;
     const double w = flow_weight[f];
-    for (const auto l : topo_->path(flow_path[f])) {
+    const std::uint32_t p = flow_path[f];
+    for (std::uint32_t pi = path_off_[p]; pi < path_off_[p + 1]; ++pi) {
+      const std::uint32_t l = path_flat_[pi];
       wsum_[l] += w;
       link_flows_[l].push_back(f);
     }
@@ -141,12 +157,212 @@ void MaxMinAllocator::allocate(const std::vector<double>& link_capacity,
       rate_out[f] = r;
       frozen_[f] = 1;
       --remaining;
-      for (const auto l : topo_->path(flow_path[f])) {
+      const std::uint32_t p = flow_path[f];
+      for (std::uint32_t pi = path_off_[p]; pi < path_off_[p + 1]; ++pi) {
+        const std::uint32_t l = path_flat_[pi];
         cap_rem_[l] -= r;
         wsum_[l] -= flow_weight[f];
       }
     }
     wsum_[best] = 0.0;  // clear numeric residue
+  }
+  if (remaining > 0) {
+    // The defensive break fired: some flows never froze (possible only
+    // when their weights are ~0, so no link registers a positive weight
+    // sum). Without this pass they would keep whatever rate_out held
+    // from the previous epoch — zero them explicitly.
+    for (const std::uint32_t f : active) {
+      if (!frozen_[f]) rate_out[f] = 0.0;
+    }
+  }
+}
+
+void MaxMinAllocator::add_flow(std::uint32_t f, Topology::PathId path) {
+  if (alive_.size() <= f) {
+    // Amortized growth; steady state performs no allocation.
+    const std::size_t n = std::max<std::size_t>(f + 1, alive_.size() * 2);
+    alive_.resize(n, 0);
+    frozen_epoch_.resize(n, 0);
+  }
+  alive_[f] = 1;
+  ++live_;
+  for (std::uint32_t pi = path_off_[path]; pi < path_off_[path + 1]; ++pi) {
+    member_[path_flat_[pi]].push_back(f);
+    dirty_[path_flat_[pi]] = 1;
+  }
+}
+
+void MaxMinAllocator::remove_flow(std::uint32_t f, Topology::PathId path) {
+  if (f >= alive_.size() || !alive_[f]) return;
+  alive_[f] = 0;
+  --live_;
+  for (std::uint32_t pi = path_off_[path]; pi < path_off_[path + 1]; ++pi) {
+    ++dead_[path_flat_[pi]];
+    dirty_[path_flat_[pi]] = 1;
+  }
+}
+
+void MaxMinAllocator::invalidate_weights() { weights_dirty_ = true; }
+
+void MaxMinAllocator::refold_dirty(
+    const std::vector<std::uint32_t>& flow_path,
+    const std::vector<double>& flow_weight, bool fold_all) {
+  // Recompute cached per-link weight sums as a left fold over live
+  // members in admission order — the exact association the full rebuild
+  // uses — compacting tombstones in place as we go.
+  const std::size_t links = topo_->link_count();
+  for (std::size_t l = 0; l < links; ++l) {
+    if (!fold_all && !dirty_[l]) continue;
+    std::vector<std::uint32_t>& mem = member_[l];
+    double sum = 0.0;
+    if (dead_[l] > 0) {
+      std::size_t out = 0;
+      for (const std::uint32_t f : mem) {
+        if (!alive_[f]) continue;
+        mem[out++] = f;
+        sum += flow_weight[f];
+      }
+      mem.resize(out);
+    } else {
+      for (const std::uint32_t f : mem) sum += flow_weight[f];
+    }
+    wsum_base_[l] = sum;
+    dirty_[l] = 0;
+    dead_[l] = 0;
+  }
+}
+
+void MaxMinAllocator::heap_push(double share, std::uint32_t link) {
+  heap_.push_back(HeapEntry{share, link});
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    const bool less = heap_[i].share != heap_[p].share
+                          ? heap_[i].share < heap_[p].share
+                          : heap_[i].link < heap_[p].link;
+    if (!less) break;
+    std::swap(heap_[i], heap_[p]);
+    i = p;
+  }
+}
+
+bool MaxMinAllocator::heap_pop(double& share, std::uint32_t& link) {
+  if (heap_.empty()) return false;
+  share = heap_[0].share;
+  link = heap_[0].link;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    for (std::size_t c = 2 * i + 1; c <= 2 * i + 2 && c < n; ++c) {
+      const bool less = heap_[c].share != heap_[best].share
+                            ? heap_[c].share < heap_[best].share
+                            : heap_[c].link < heap_[best].link;
+      if (less) best = c;
+    }
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return true;
+}
+
+bool MaxMinAllocator::allocate_incremental(
+    const std::vector<double>& link_capacity, bool capacity_changed,
+    const std::vector<std::uint32_t>& flow_path,
+    const std::vector<double>& flow_weight, std::vector<double>& rate_out) {
+  const std::size_t links = topo_->link_count();
+  bool any_dirty = false;
+  for (std::size_t l = 0; l < links; ++l) {
+    if (dirty_[l]) {
+      any_dirty = true;
+      break;
+    }
+  }
+  if (weights_dirty_ || any_dirty) {
+    // A weight invalidation refolds every link (any member's weight may
+    // have changed); membership churn refolds only the dirty ones.
+    refold_dirty(flow_path, flow_weight, weights_dirty_);
+  }
+  const bool must_fill =
+      weights_dirty_ || any_dirty || capacity_changed || !rates_valid_;
+  weights_dirty_ = false;
+  if (!must_fill) return false;
+  fill_incremental(link_capacity, flow_path, flow_weight, rate_out);
+  rates_valid_ = true;
+  return true;
+}
+
+void MaxMinAllocator::fill_incremental(
+    const std::vector<double>& link_capacity,
+    const std::vector<std::uint32_t>& flow_path,
+    const std::vector<double>& flow_weight, std::vector<double>& rate_out) {
+  const std::size_t links = topo_->link_count();
+  cap_rem_.assign(link_capacity.begin(), link_capacity.end());
+  wsum_ = wsum_base_;
+  heap_.clear();
+  for (std::size_t l = 0; l < links; ++l) {
+    if (wsum_[l] > 1e-12) {
+      heap_push(std::max(0.0, cap_rem_[l]) / wsum_[l],
+                static_cast<std::uint32_t>(l));
+    }
+  }
+
+  // Progressive filling driven by a lazy heap: every time a link's
+  // (cap_rem, wsum) changes we push its fresh share; stale entries are
+  // recognized at pop time because their recorded share no longer equals
+  // the recomputed current share. The (share, link-id) ascending order
+  // reproduces the linear scan's strict-< tie-break (lowest id wins).
+  ++epoch_;
+  std::size_t remaining = live_;
+  double share_hint;
+  std::uint32_t best;
+  while (remaining > 0 && heap_pop(share_hint, best)) {
+    if (wsum_[best] <= 1e-12) continue;  // saturated or weightless now
+    const double share = std::max(0.0, cap_rem_[best]) / wsum_[best];
+    if (share != share_hint) continue;  // stale: a fresher entry is queued
+    ++round_;
+    touched_.clear();
+    // Every member is alive here: a removal dirties its links, and dirty
+    // links always refold (compacting tombstones) before the fill.
+    for (const std::uint32_t f : member_[best]) {
+      if (frozen_epoch_[f] == epoch_) continue;
+      const double w = flow_weight[f];
+      const double r = w * share;
+      rate_out[f] = r;
+      frozen_epoch_[f] = epoch_;
+      --remaining;
+      const std::uint32_t p = flow_path[f];
+      for (std::uint32_t pi = path_off_[p]; pi < path_off_[p + 1]; ++pi) {
+        const std::uint32_t l = path_flat_[pi];
+        cap_rem_[l] -= r;
+        wsum_[l] -= w;
+        if (l != best && touched_stamp_[l] != round_) {
+          touched_stamp_[l] = round_;
+          touched_.push_back(l);
+        }
+      }
+    }
+    wsum_[best] = 0.0;  // clear numeric residue
+    for (const std::uint32_t l : touched_) {
+      if (wsum_[l] > 1e-12) {
+        heap_push(std::max(0.0, cap_rem_[l]) / wsum_[l], l);
+      }
+    }
+  }
+  if (remaining > 0) {
+    // Mirror of the full path's defensive zeroing: live flows that never
+    // froze (weight ~0 on every link) must not keep stale rates.
+    for (std::size_t l = 0; l < links; ++l) {
+      for (const std::uint32_t f : member_[l]) {
+        if (frozen_epoch_[f] != epoch_) {
+          rate_out[f] = 0.0;
+          frozen_epoch_[f] = epoch_;
+        }
+      }
+    }
   }
 }
 

@@ -128,11 +128,31 @@ class LinkBank {
 /// Weighted max-min fair allocation over a Topology via progressive
 /// filling. All scratch state is reused between calls — after warm-up an
 /// allocate() performs no heap allocation.
+///
+/// Two drive modes, bit-identical by construction (vsim_alloc_test pins
+/// per-flow EXPECT_DOUBLE_EQ equality under randomized churn):
+///
+///   * allocate(): the stateless reference — rebuilds per-link flow
+///     lists and weight sums from the active list every call.
+///   * add_flow()/remove_flow()/invalidate_weights() +
+///     allocate_incremental(): persistent per-link membership. An epoch
+///     where nothing changed (same capacities, weights, membership)
+///     skips the fill entirely and keeps last epoch's rates; an epoch
+///     with local churn refolds only dirty links. Progressive filling
+///     runs off a lazy heap of (share, link) instead of an O(links)
+///     scan per round.
+///
+/// Bit-exactness invariants (DESIGN.md §15): per-link weight sums are
+/// always produced by a left fold over members in admission order —
+/// never by adding/subtracting deltas, since IEEE addition is neither
+/// associative nor invertible. Removal tombstones members (alive_ flag)
+/// and compacts on the next refold, preserving relative order, so the
+/// fold after a removal equals the fold the full rebuild would compute.
 class MaxMinAllocator {
  public:
   explicit MaxMinAllocator(const Topology& topo);
 
-  /// Compute each active flow's wire rate.
+  /// Compute each active flow's wire rate (full rebuild; reference).
   ///
   /// @param link_capacity   capacity per link id (LinkBank::capacities)
   /// @param flow_path       path id per flow (full table, indexed by id)
@@ -145,13 +165,74 @@ class MaxMinAllocator {
                 const std::vector<std::uint32_t>& active,
                 std::vector<double>& rate_out);
 
+  // --- persistent membership (incremental mode) ----------------------
+
+  /// Register flow `f` on every link of `path`. Call once at admission;
+  /// the flow competes in every subsequent allocate_incremental() until
+  /// remove_flow().
+  void add_flow(std::uint32_t f, Topology::PathId path);
+
+  /// Unregister flow `f` (tombstoned; compacted on the next refold).
+  void remove_flow(std::uint32_t f, Topology::PathId path);
+
+  /// Mark all cached weight sums stale. Call whenever any registered
+  /// flow's weight may have changed (kPerTenant reweighting).
+  void invalidate_weights();
+
+  [[nodiscard]] std::size_t live_flows() const { return live_; }
+
+  /// Incremental epoch allocation over the registered flows.
+  ///
+  /// @param capacity_changed  false asserts `link_capacity` is unchanged
+  ///                          since the previous call — combined with no
+  ///                          membership/weight churn the whole fill is
+  ///                          skipped and rate_out keeps last epoch's
+  ///                          values for every registered flow.
+  /// @returns true if rates were (re)computed, false if skipped.
+  bool allocate_incremental(const std::vector<double>& link_capacity,
+                            bool capacity_changed,
+                            const std::vector<std::uint32_t>& flow_path,
+                            const std::vector<double>& flow_weight,
+                            std::vector<double>& rate_out);
+
  private:
+  void refold_dirty(const std::vector<std::uint32_t>& flow_path,
+                    const std::vector<double>& flow_weight, bool fold_all);
+  void fill_incremental(const std::vector<double>& link_capacity,
+                        const std::vector<std::uint32_t>& flow_path,
+                        const std::vector<double>& flow_weight,
+                        std::vector<double>& rate_out);
+  void heap_push(double share, std::uint32_t link);
+  bool heap_pop(double& share, std::uint32_t& link);
+
   const Topology* topo_;
   // Reusable scratch (see class comment).
   std::vector<double> cap_rem_;
   std::vector<double> wsum_;
   std::vector<std::vector<std::uint32_t>> link_flows_;
   std::vector<std::uint8_t> frozen_;
+
+  // Persistent incremental state.
+  struct HeapEntry {
+    double share;
+    std::uint32_t link;
+  };
+  std::vector<std::vector<std::uint32_t>> member_;  ///< admission order
+  std::vector<double> wsum_base_;     ///< cached fold per link
+  std::vector<std::uint8_t> dirty_;   ///< membership changed since refold
+  std::vector<std::uint32_t> dead_;   ///< tombstones per link
+  std::vector<std::uint8_t> alive_;   ///< by flow id
+  std::vector<std::uint64_t> frozen_epoch_;  ///< by flow id; == epoch_ when frozen
+  std::vector<std::uint32_t> path_flat_;  ///< all paths' link ids, packed
+  std::vector<std::uint32_t> path_off_;   ///< path p = [off[p], off[p+1])
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint32_t> touched_;       ///< links changed this round
+  std::vector<std::uint64_t> touched_stamp_; ///< per link, == round_ if queued
+  std::uint64_t epoch_ = 0;
+  std::uint64_t round_ = 0;
+  std::size_t live_ = 0;
+  bool weights_dirty_ = true;
+  bool rates_valid_ = false;
 };
 
 }  // namespace strato::vsim

@@ -3,6 +3,7 @@
 // per-tenant fairness, and admission control.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -282,6 +283,88 @@ TEST(Fleet, BackgroundTenantIsJustAnotherTenant) {
   // into the transfer-latency sample.
   EXPECT_EQ(bg.completion_s.count(), 0u);
   EXPECT_EQ(bg.raw_bytes, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden digests. These values were produced by the pre-incremental
+// engine (full per-epoch MaxMinAllocator rebuild, serial drain, no
+// cached kernels). The optimized engine must reproduce them bit for bit
+// — do NOT update the constants to make a failure pass; a mismatch
+// means the optimizations changed simulation results.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// A medium config exercising kPerTenant reweight churn, admission-queue
+// pressure and rejections — every incremental code path at once.
+FleetConfig medium_fleet(std::uint64_t seed) {
+  FleetConfig cfg;
+  cfg.topology = Topology::rack_spine_wan(Topology::FleetShape{});
+  cfg.seed = seed;
+  cfg.horizon = SimTime::seconds(60);
+  for (int i = 0; i < 3; ++i) {
+    TenantSpec t;
+    t.name = "t" + std::to_string(i);
+    t.weight = 1.0 + i;
+    t.policy = i == 0 ? TenantPolicy::dynamic() : TenantPolicy::fixed(i);
+    t.arrival_per_s = 8.0;
+    t.max_in_flight = 40;
+    t.max_queue = 200;
+    t.mean_flow_bytes = 8ull << 20;
+    t.class_mix = {0.3, 0.4, 0.3};
+    cfg.tenants.push_back(t);
+  }
+  BgTrafficConfig bg;
+  bg.arrival_per_s = 2.0;
+  bg.mean_holding_s = 10.0;
+  bg.initial_flows = 8;
+  bg.max_flows = 64;
+  cfg.tenants.push_back(background_tenant(bg));
+  return cfg;
+}
+
+TEST(FleetGolden, PreOptimizationDigestsReproduce) {
+  EXPECT_EQ(fnv1a(FleetEngine(small_fleet(7)).run().to_json()),
+            0x8e9e071c25cd0493ULL);
+  EXPECT_EQ(fnv1a(FleetEngine(small_fleet(21)).run().to_json()),
+            0xb88751d8cf3c405cULL);
+  EXPECT_EQ(fnv1a(FleetEngine(medium_fleet(5)).run().to_json()),
+            0xa641e245520e92fbULL);
+}
+
+// The config-flag route to the reference allocator (the env var
+// STRATO_FLEET_FULL_ALLOC=1 sets the same flag) agrees with the
+// incremental default.
+TEST(FleetGolden, FullAllocFlagIsBitIdentical) {
+  FleetConfig cfg = medium_fleet(5);
+  cfg.full_alloc = true;
+  EXPECT_EQ(fnv1a(FleetEngine(cfg).run().to_json()),
+            0xa641e245520e92fbULL);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded drain: any worker count must be byte-identical to serial —
+// the parallel phase writes only per-flow state, and all cross-flow
+// accumulation happens serially in admission order.
+// ---------------------------------------------------------------------------
+
+TEST(FleetShardedDrain, DigestInvariantAcrossWorkerCounts) {
+  FleetConfig base = medium_fleet(5);
+  const std::string serial = FleetEngine(base).run().to_json();
+  EXPECT_EQ(fnv1a(serial), 0xa641e245520e92fbULL);
+  for (const int workers : {2, 4, 8}) {
+    FleetConfig cfg = medium_fleet(5);
+    cfg.drain_workers = workers;
+    EXPECT_EQ(FleetEngine(cfg).run().to_json(), serial)
+        << "drain_workers=" << workers;
+  }
 }
 
 }  // namespace
